@@ -1,0 +1,15 @@
+"""Ablation: idle demand-seeking cruising on/off for mT-Share_pro.
+
+Cruising is the dominant source of the non-peak gains: it both raises
+offline encounters and pre-positions taxis for online demand.
+"""
+
+from conftest import run_figure
+from repro.experiments.ablations import ablation_cruising
+
+
+def test_ablation_cruising(benchmark, scale):
+    res = run_figure(benchmark, ablation_cruising, scale)
+    on = res.value("cruising on", "served")
+    off = res.value("cruising off", "served")
+    assert on >= off

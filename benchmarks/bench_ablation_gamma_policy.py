@@ -1,0 +1,16 @@
+"""Ablation: mT-Share's Eq. 2 adaptive searching range vs a static gamma.
+
+Not a paper figure — isolates one design choice DESIGN.md calls out.
+The adaptive radius equals the pick-up reachability region, so it
+should trim candidates without losing served requests.
+"""
+
+from conftest import run_figure
+from repro.experiments.ablations import ablation_adaptive_gamma
+
+
+def test_ablation_gamma_policy(benchmark, scale):
+    res = run_figure(benchmark, ablation_adaptive_gamma, scale)
+    adaptive = res.value("adaptive (Eq. 2)", "served")
+    static = res.value("static gamma", "served")
+    assert adaptive >= static * 0.95

@@ -1,0 +1,16 @@
+"""Ablation: offline-encounter redispatch on/off.
+
+The paper's server dispatches another taxi when the encountering one is
+full; turning that off shows how much offline service the second chance
+contributes.
+"""
+
+from conftest import run_figure
+from repro.experiments.ablations import ablation_redispatch
+
+
+def test_ablation_redispatch(benchmark, scale):
+    res = run_figure(benchmark, ablation_redispatch, scale)
+    on = res.value("redispatch on", "served_offline")
+    off = res.value("redispatch off", "served_offline")
+    assert on >= off

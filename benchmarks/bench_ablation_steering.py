@@ -1,0 +1,14 @@
+"""Ablation: the probability-vs-detour steering strength (future work
+of the paper).  More steering should never reduce offline service and
+may raise detours.
+"""
+
+from conftest import run_figure
+from repro.experiments.ablations import ablation_steering
+
+
+def test_ablation_steering(benchmark, scale):
+    res = run_figure(benchmark, ablation_steering, scale)
+    offline = res.series["served offline"]
+    assert all(v >= 0 for v in offline)
+    assert max(offline) >= offline[0]  # steering never hurts offline service

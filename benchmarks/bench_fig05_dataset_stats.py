@@ -1,0 +1,19 @@
+"""Fig. 5: dataset statistics — hourly taxi utilisation and travel times.
+
+Paper: workday utilisation peaks in the morning/evening commutes (56% in
+the 8-9 a.m. hour), weekends are flatter (41% at 10-11 a.m.); trip
+travel times have p50 = 15 min and p90 = 30 min.  Our synthetic trace
+must show the same workday/weekend contrast and a peaked morning hour.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig5_dataset_stats
+
+
+def test_fig5_dataset_stats(benchmark, scale):
+    res = run_figure(benchmark, fig5_dataset_stats, scale)
+    workday = res.series["workday"]
+    weekend = res.series["weekend"]
+    assert all(0.0 <= u <= 1.0 for u in workday + weekend)
+    # Workday carries a stronger commute structure than the weekend.
+    assert max(workday) >= max(weekend)

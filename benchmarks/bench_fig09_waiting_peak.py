@@ -1,0 +1,20 @@
+"""Fig. 9: waiting time in the peak scenario.
+
+Paper: waiting falls as the fleet grows; T-Share (nearest-valid taxi)
+waits least among sharing schemes; mT-Share and pGreedyDP wait slightly
+longer (< 0.5 min gap) because they optimise detour, not pick-up
+proximity.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig9_waiting_peak
+
+
+def test_fig9_waiting_peak(benchmark, scale):
+    res = run_figure(benchmark, fig9_waiting_peak, scale)
+    for x in res.x_values:
+        for scheme in res.series:
+            assert res.value(scheme, x) >= 0.0
+    # Waiting shrinks (or stays flat) when the fleet doubles.
+    first, last = res.x_values[0], res.x_values[-1]
+    assert res.value("mt-share", last) <= res.value("mt-share", first) * 1.5

@@ -1,0 +1,21 @@
+"""Fig. 10: served requests in the non-peak scenario (offline requests).
+
+Paper: the sharing-vs-No-Sharing gap narrows; mT-Share_pro's
+probabilistic routing serves 13-24% more than plain mT-Share and 58-62%
+more than the grid baselines.  We assert mT-Share_pro's dominance and a
+meaningful margin over plain mT-Share.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig10_served_nonpeak
+
+
+def test_fig10_served_nonpeak(benchmark, scale):
+    res = run_figure(benchmark, fig10_served_nonpeak, scale)
+    for x in res.x_values:
+        pro = res.value("mt-share-pro", x)
+        assert pro >= res.value("mt-share", x)
+        assert pro > res.value("t-share", x)
+        assert pro > res.value("no-sharing", x)
+    last = res.x_values[-1]
+    assert res.value("mt-share-pro", last) >= 1.05 * res.value("mt-share", last)

@@ -1,0 +1,18 @@
+"""Fig. 11: response time in the non-peak scenario.
+
+Paper: mT-Share_pro is 2.5-4.5x slower than mT-Share because
+probabilistic routing enumerates partition corridors; everything else
+matches the peak behaviour.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig11_response_nonpeak
+
+
+def test_fig11_response_nonpeak(benchmark, scale):
+    res = run_figure(benchmark, fig11_response_nonpeak, scale)
+    for x in res.x_values:
+        assert res.value("mt-share-pro", x) > res.value("mt-share", x)
+    last = res.x_values[-1]
+    ratio = res.value("mt-share-pro", last) / max(res.value("mt-share", last), 1e-9)
+    assert 1.2 <= ratio <= 20.0

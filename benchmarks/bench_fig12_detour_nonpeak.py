@@ -1,0 +1,15 @@
+"""Fig. 12: detour time in the non-peak scenario.
+
+Paper: mT-Share_pro has the largest detours (probability-seeking routes
+are longer) but the overhead versus pGreedyDP stays small (<= 0.5 min).
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig12_detour_nonpeak
+
+
+def test_fig12_detour_nonpeak(benchmark, scale):
+    res = run_figure(benchmark, fig12_detour_nonpeak, scale)
+    for x in res.x_values:
+        assert res.value("no-sharing", x) < 1e-9
+        assert res.value("mt-share-pro", x) >= res.value("mt-share", x) - 0.1

@@ -1,0 +1,15 @@
+"""Fig. 13: waiting time in the non-peak scenario.
+
+Paper: waiting shrinks with more taxis and is larger than in the peak
+scenario (a sparser fleet drives farther per pick-up).
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig13_waiting_nonpeak
+
+
+def test_fig13_waiting_nonpeak(benchmark, scale):
+    res = run_figure(benchmark, fig13_waiting_nonpeak, scale)
+    for x in res.x_values:
+        for scheme in res.series:
+            assert res.value(scheme, x) >= 0.0

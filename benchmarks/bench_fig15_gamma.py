@@ -1,0 +1,19 @@
+"""Fig. 15: impact of the searching range gamma on detour + waiting.
+
+Paper: a larger gamma admits farther taxis, so both detour and waiting
+grow for every sharing scheme; No-Sharing never detours.  The sweep
+pins all schemes (including mT-Share) to the static gamma.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig15_gamma
+
+
+def test_fig15_gamma(benchmark, scale):
+    res = run_figure(benchmark, fig15_gamma, scale)
+    nosh = res.series["no-sharing detour"]
+    assert all(v == 0.0 for v in nosh)
+    # Waiting for the sharing schemes tends upward with gamma.
+    for scheme in ("t-share", "pgreedydp", "mt-share"):
+        waits = res.series[f"{scheme} waiting"]
+        assert waits[-1] >= waits[0] * 0.8

@@ -1,0 +1,20 @@
+"""Fig. 16: basic versus probabilistic routing per scheme (non-peak).
+
+Paper: probabilistic routing serves 34-89% more offline requests for
+every scheme it is combined with, and mT-Share leads in both modes.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig16_routing_modes
+
+
+def test_fig16_routing_modes(benchmark, scale):
+    res = run_figure(benchmark, fig16_routing_modes, scale)
+    for scheme in ("t-share", "pgreedydp", "mt-share"):
+        basic = res.value(f"{scheme}/basic", "offline")
+        prob = res.value(f"{scheme}/prob", "offline")
+        assert prob >= basic
+        assert res.value(f"{scheme}/prob", "total") >= res.value(f"{scheme}/basic", "total")
+    # mT-Share leads within each routing mode.
+    for mode in ("basic", "prob"):
+        assert res.value(f"mt-share/{mode}", "total") >= res.value(f"t-share/{mode}", "total") * 0.97

@@ -1,0 +1,14 @@
+"""Fig. 17: impact of the flexible factor rho on waiting time.
+
+Paper: a larger rho tolerates more detour, so farther taxis get
+selected and passengers wait longer; T-Share waits least.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig17_rho_waiting
+
+
+def test_fig17_rho_waiting(benchmark, scale):
+    res = run_figure(benchmark, fig17_rho_waiting, scale)
+    for scheme, waits in res.series.items():
+        assert waits[-1] >= waits[0] * 0.8, scheme  # upward tendency

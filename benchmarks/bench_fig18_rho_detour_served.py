@@ -1,0 +1,17 @@
+"""Fig. 18: impact of rho on mT-Share's detour time and served count.
+
+Paper: both served requests and detour time grow with rho, but served
+requests saturate beyond rho = 1.3 while detours keep climbing — the
+basis for choosing 1.3 as the default.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig18_rho_detour_served
+
+
+def test_fig18_rho_detour_served(benchmark, scale):
+    res = run_figure(benchmark, fig18_rho_detour_served, scale)
+    served = res.series["served"]
+    detour = res.series["detour_min"]
+    assert served[-1] >= served[0]
+    assert detour[-1] >= detour[0]

@@ -1,0 +1,18 @@
+"""Fig. 19: the payment model's monetary effects versus rho.
+
+Paper: at rho = 1.3 passengers save 8.6% on fares while drivers earn
+7.8% more than the metered route — both sides gain.  We assert both
+percentages are positive at the default rho.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig19_rho_payment
+
+
+def test_fig19_rho_payment(benchmark, scale):
+    res = run_figure(benchmark, fig19_rho_payment, scale)
+    saving_at_default = res.value("passenger saving %", 1.3)
+    gain_at_default = res.value("driver gain %", 1.3)
+    assert saving_at_default > 0.0
+    assert gain_at_default > 0.0
+    assert all(0.0 <= v <= 100.0 for v in res.series["passenger saving %"])

@@ -1,0 +1,14 @@
+"""Fig. 20: impact of the direction threshold theta (lambda = cos theta).
+
+Paper: a larger theta (looser filter) slightly raises served requests
+but sharply raises response time, motivating theta = 45 degrees.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig20_lambda
+
+
+def test_fig20_lambda(benchmark, scale):
+    res = run_figure(benchmark, fig20_lambda, scale)
+    served = res.series["served"]
+    assert served[-1] >= served[0] * 0.95  # loosening never hurts much

@@ -1,0 +1,20 @@
+"""Fig. 21: scalability with the amount of trace data processed.
+
+Paper: total execution time grows linearly with the hours of data while
+per-request response time stays flat — the system scales to a full day
+of city traffic.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import fig21_scalability
+
+
+def test_fig21_scalability(benchmark, scale):
+    res = run_figure(benchmark, fig21_scalability, scale)
+    execution = res.series["execution_s"]
+    responses = res.series["response_ms"]
+    # Execution grows with the data volume overall (single hours carry
+    # wall-clock noise, so only the endpoints are compared strictly).
+    assert execution[-1] >= execution[0]
+    # Response time stays within a small factor across data volumes.
+    assert max(responses) <= max(10.0 * min(responses), min(responses) + 5.0)

@@ -1,0 +1,17 @@
+"""Table III: average candidate-taxi set sizes in the peak scenario.
+
+Paper: No-Sharing has the smallest sets (vacant taxis only); T-Share's
+dual-side search keeps them small (12.5-16); pGreedyDP gathers the most
+(22-54); mT-Share sits in between (12-28) because direction filtering
+removes invalid taxis up front.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import table3_candidates_peak
+
+
+def test_table3_candidates(benchmark, scale):
+    res = run_figure(benchmark, table3_candidates_peak, scale)
+    for x in res.x_values:
+        assert res.value("mt-share", x) < res.value("pgreedydp", x)
+        assert res.value("t-share", x) <= res.value("pgreedydp", x)

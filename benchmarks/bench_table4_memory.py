@@ -1,0 +1,17 @@
+"""Table IV: index memory overheads at the largest fleet.
+
+Paper: mT-Share's two index views make its index ~39% larger than the
+grid baselines' and its total memory 16-41% larger — negligible in
+absolute terms.  We assert mT-Share's index is the largest.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import table4_memory
+
+
+def test_table4_memory(benchmark, scale):
+    res = run_figure(benchmark, table4_memory, scale)
+    mt = res.value("mt-share", "index_kb")
+    assert mt > 0
+    assert mt >= res.value("t-share", "index_kb")
+    assert mt >= res.value("pgreedydp", "index_kb")

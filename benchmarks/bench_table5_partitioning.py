@@ -1,0 +1,17 @@
+"""Table V: grid versus bipartite map partitioning.
+
+Paper: bipartite partitioning serves >= 6% more requests and cuts
+detours 3-7% in both scenarios.  We assert bipartite never loses on
+served requests by more than noise.
+"""
+
+from conftest import run_figure
+from repro.experiments.figures import table5_partitioning
+
+
+def test_table5_partitioning(benchmark, scale):
+    res = run_figure(benchmark, table5_partitioning, scale)
+    for kind in ("peak", "nonpeak"):
+        grid = res.value(f"grid/{kind}", "served")
+        bipartite = res.value(f"bipartite/{kind}", "served")
+        assert bipartite >= grid * 0.93

@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table/figure of the paper via the
+experiment harness and prints the same rows the paper plots.  Runs are
+macro-benchmarks (whole simulation sweeps), so every benchmark executes
+a single round; the experiment runner memoises simulations shared
+between figures (Figs. 6-9 and Table III reuse one fleet sweep).
+
+Set ``REPRO_BENCH_SCALE=full`` for the paper-shaped six-point sweeps;
+the default ``quick`` scale keeps the whole suite to a few minutes.
+"""
+
+import pytest
+
+from repro.experiments import bench_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+def run_figure(benchmark, fn, scale):
+    """Execute a figure function once under pytest-benchmark and print it."""
+    result = benchmark.pedantic(fn, args=(scale,), rounds=1, iterations=1)
+    result.print()
+    return result

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Offline street-hailing: probabilistic routing in the non-peak hours.
+
+Reproduces the paper's central non-peak story (Figs. 10 and 16): a
+weekend late-morning where a third of the passengers never open the
+booking app — they stand at the roadside and wave.  The dispatcher only
+learns about them when a taxi passes by, so mT-Share_pro plans
+probability-seeking routes (and sends idle taxis cruising towards
+historically hot pick-up spots) to meet them.
+
+Run:  python examples/offline_hailing.py
+"""
+
+from repro import PaymentModel, Simulator, get_scenario
+from repro.sim import nonpeak_spec
+
+
+def main() -> None:
+    spec = nonpeak_spec(
+        grid_rows=16,
+        grid_cols=16,
+        hourly_requests=600,
+        history_days=3,
+        num_partitions=25,
+        offline_count=110,
+        seed=4,
+    )
+    scenario = get_scenario(spec)
+    requests = scenario.requests()
+    online = sum(1 for r in requests if not r.offline)
+    offline = len(requests) - online
+    print(
+        f"Non-peak hour: {online} online bookings + {offline} street hails "
+        f"(hidden from the dispatcher)\n"
+    )
+
+    header = (
+        f"{'scheme':14s} {'online':>7s} {'offline':>8s} {'total':>6s} "
+        f"{'resp_ms':>8s} {'detour_min':>11s}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows = {}
+    for name in ("t-share", "pgreedydp", "mt-share", "mt-share-pro"):
+        scheme = scenario.make_scheme(name)
+        fleet = scenario.make_fleet(50, seed=1)
+        m = Simulator(scheme, fleet, requests, payment=PaymentModel()).run()
+        rows[name] = m
+        print(
+            f"{scheme.name:14s} {m.served_online:7d} {m.served_offline:8d} "
+            f"{m.served:6d} {m.avg_response_ms:8.3f} {m.avg_detour_min:11.2f}"
+        )
+
+    basic = rows["mt-share"]
+    pro = rows["mt-share-pro"]
+    if basic.served:
+        gain = 100.0 * (pro.served / basic.served - 1.0)
+        print(
+            f"\nProbabilistic routing serves {gain:+.1f}% more requests than "
+            "plain mT-Share\n(the paper reports +13% to +24%); the extra "
+            "response time is the cost of\ncorridor enumeration "
+            "(paper: 2.5-4.5x slower)."
+        )
+
+
+if __name__ == "__main__":
+    main()

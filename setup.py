@@ -1,0 +1,7 @@
+"""Thin setup.py kept for legacy editable installs in offline environments
+(where the `wheel` package needed by PEP 660 editable builds is absent).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,8 @@
+"""Comparison schemes: No-Sharing, T-Share, pGreedyDP (Section V-A2)."""
+
+from .base import DispatchScheme
+from .nosharing import NoSharing
+from .pgreedydp import PGreedyDP
+from .tshare import TShare
+
+__all__ = ["DispatchScheme", "NoSharing", "PGreedyDP", "TShare"]

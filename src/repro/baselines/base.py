@@ -1,0 +1,251 @@
+"""The dispatcher interface shared by mT-Share and every baseline.
+
+The simulator is scheme-agnostic: it feeds requests and taxi-movement
+notifications to a :class:`DispatchScheme` and installs the plans the
+scheme returns.  Each scheme owns its own index structures; the
+simulator owns the fleet and the clock.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..config import SystemConfig
+from ..core.matching import MatchResult
+from ..demand.request import RideRequest
+from ..fleet.schedule import arrival_times, capacity_ok, deadlines_met, enumerate_insertions
+from ..fleet.taxi import Taxi
+from ..network.graph import RoadNetwork
+from ..network.shortest_path import ShortestPathEngine
+from ..core.routing import BasicRouter, RouteInfeasible
+
+
+class DispatchScheme(abc.ABC):
+    """Base class for ridesharing dispatch schemes.
+
+    Subclasses implement :meth:`dispatch` (match one online request)
+    and may override the indexing hooks.  The lifecycle is::
+
+        scheme = SomeScheme(network, engine, config)
+        scheme.register_fleet(fleet, now=0.0)
+        ...
+        result = scheme.dispatch(request, now)
+        if result is not None:
+            scheme.install(result, request, now)
+    """
+
+    #: Human-readable scheme name used in reports.
+    name = "abstract"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        engine: ShortestPathEngine,
+        config: SystemConfig,
+    ) -> None:
+        self._network = network
+        self._engine = engine
+        self._config = config
+        self._fleet: dict[int, Taxi] = {}
+        self._fallback_router = BasicRouter(network, engine, None)
+        self._prob_router = None
+
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> RoadNetwork:
+        """The road network."""
+        return self._network
+
+    @property
+    def engine(self) -> ShortestPathEngine:
+        """Cached shortest-path engine."""
+        return self._engine
+
+    @property
+    def config(self) -> SystemConfig:
+        """System parameters."""
+        return self._config
+
+    @property
+    def fleet(self) -> dict[int, Taxi]:
+        """The registered taxis, by id."""
+        return self._fleet
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks
+    # ------------------------------------------------------------------
+    def register_fleet(self, fleet: dict[int, Taxi], now: float) -> None:
+        """Adopt the fleet and build initial indexes."""
+        self._fleet = fleet
+        for taxi in fleet.values():
+            self._index_taxi(taxi, now)
+
+    @abc.abstractmethod
+    def dispatch(self, request: RideRequest, now: float) -> MatchResult | None:
+        """Match an online request; ``None`` means it cannot be served."""
+
+    def _apply_plan(self, result: MatchResult, request: RideRequest, now: float) -> Taxi:
+        """Raw plan application: assign, install route, refresh indexes."""
+        taxi = self._fleet[result.taxi_id]
+        taxi.assign(request)
+        taxi.set_plan(list(result.stops), result.route)
+        self._index_taxi(taxi, now)
+        return taxi
+
+    def on_taxi_advanced(self, taxi: Taxi, now: float, stops_fired: bool) -> None:
+        """Called after the simulator moved a taxi.
+
+        ``stops_fired`` is True when a pick-up/drop-off executed during
+        the move.  Default: refresh the taxi's index entry when its
+        passenger composition changed.
+        """
+        if stops_fired:
+            self._index_taxi(taxi, now)
+
+    def on_taxi_idle(self, taxi: Taxi, now: float) -> None:
+        """Called when a taxi finishes its schedule and parks."""
+        self._index_taxi(taxi, now)
+
+    def on_request_finished(self, request: RideRequest) -> None:
+        """Called when a request's passengers are dropped off."""
+
+    def index_memory_bytes(self) -> int:
+        """Approximate footprint of this scheme's index structures."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _index_taxi(self, taxi: Taxi, now: float) -> None:
+        """Refresh the scheme's index entries for one taxi (hook)."""
+
+    def generic_insertion(
+        self,
+        taxi: Taxi,
+        request: RideRequest,
+        now: float,
+    ) -> MatchResult | None:
+        """Minimum-detour feasible insertion of ``request`` into one taxi.
+
+        Shared by the offline-encounter path of all schemes (the paper
+        extends T-Share and pGreedyDP the same way for fairness) and by
+        grid-based baselines as their scheduling core.  Routes use plain
+        cached shortest paths.
+        """
+        if taxi.committed + request.num_passengers > taxi.capacity:
+            return None
+        node, ready = taxi.position_at(now)
+        pending = taxi.pending_stops()
+        current_cost = taxi.remaining_route_cost(ready)
+        cost_fn = self._engine.cost
+
+        best: tuple[float, list] | None = None
+        for _i, _j, stops in enumerate_insertions(pending, request):
+            if not capacity_ok(stops, taxi.occupancy, taxi.capacity):
+                continue
+            times = arrival_times(node, ready, stops, cost_fn)
+            if not deadlines_met(stops, times):
+                continue
+            detour = (times[-1] - ready) - current_cost
+            if best is None or detour < best[0]:
+                best = (detour, stops)
+        if best is None:
+            return None
+        detour, stops = best
+        try:
+            route = self._fallback_router.route_for_schedule(node, ready, stops)
+        except RouteInfeasible:
+            return None
+        return MatchResult(
+            taxi_id=taxi.taxi_id,
+            stops=tuple(stops),
+            route=route,
+            detour_cost=detour,
+            num_candidates=1,
+        )
+
+    def try_offline(self, taxi: Taxi, request: RideRequest, now: float) -> MatchResult | None:
+        """Attempt to serve an offline request this taxi just encountered."""
+        return self.generic_insertion(taxi, request, now)
+
+    # ------------------------------------------------------------------
+    # optional probabilistic routing (Fig. 16's scheme x routing grid)
+    # ------------------------------------------------------------------
+    def enable_probabilistic(self, router) -> None:
+        """Attach a probabilistic router to this scheme.
+
+        The paper's Fig. 16 combines probabilistic routing with T-Share
+        and pGreedyDP as well: after a match is found, the winning
+        route is re-planned to maximise the chance of encountering
+        suitable offline requests, whenever the taxi has enough idle
+        seats (same trigger as mT-Share_pro).
+        """
+        self._prob_router = router
+
+    def maybe_cruise(self, taxi: Taxi, now: float) -> bool:
+        """Send an idle taxi on a demand-seeking cruise (non-peak mode).
+
+        Only active when a probabilistic router is attached; the paper's
+        non-peak premise is that taxis without online assignments go
+        looking for street-hailing passengers.  Attempts are rate
+        limited per taxi so parked taxis do not replan continuously.
+        """
+        if self._prob_router is None or not taxi.idle:
+            return False
+        if not self._config.enable_cruising:
+            return False
+        if taxi._route_cursor < len(taxi.route.nodes):  # noqa: SLF001
+            return False  # still driving an earlier cruise
+        cooldowns = getattr(self, "_cruise_cooldown", None)
+        if cooldowns is None:
+            cooldowns = {}
+            self._cruise_cooldown = cooldowns
+        if now < cooldowns.get(taxi.taxi_id, 0.0):
+            return False
+        route = self._prob_router.cruise_route(taxi.loc, now)
+        if route is None or route.empty:
+            cooldowns[taxi.taxi_id] = now + 300.0
+            return False
+        taxi.set_plan([], route)
+        cooldowns[taxi.taxi_id] = route.end_time
+        self._index_taxi(taxi, now)
+        return True
+
+    def _maybe_probabilistic_route(self, taxi: Taxi, request: RideRequest,
+                                   result: MatchResult, now: float) -> MatchResult:
+        """Re-plan a match's route probabilistically when enabled."""
+        if self._prob_router is None:
+            return result
+        idle_after = taxi.capacity - taxi.committed - request.num_passengers
+        if idle_after < taxi.capacity * self._config.probabilistic_idle_seats:
+            return result
+        from ..core.matching import taxi_vector_with
+        from ..core.routing import RouteInfeasible
+
+        node, ready = taxi.position_at(now)
+        vec = taxi_vector_with(self._network, taxi, request, now)
+        try:
+            route = self._prob_router.route_for_schedule(
+                node, ready, list(result.stops), taxi_vector=vec
+            )
+        except RouteInfeasible:
+            return result
+        return MatchResult(
+            taxi_id=result.taxi_id,
+            stops=result.stops,
+            route=route,
+            detour_cost=route.total_cost() - taxi.remaining_route_cost(ready),
+            num_candidates=result.num_candidates,
+            probabilistic=True,
+        )
+
+    def install(self, result: MatchResult, request: RideRequest, now: float) -> Taxi:
+        """Apply a match: assign the request and set the taxi's plan.
+
+        When a probabilistic router is attached, the route is upgraded
+        first (the schedule itself is unchanged).
+        """
+        taxi = self._fleet[result.taxi_id]
+        if not result.probabilistic:
+            result = self._maybe_probabilistic_route(taxi, request, result, now)
+        return self._apply_plan(result, request, now)

@@ -1,0 +1,108 @@
+"""Command-line interface: run simulations and regenerate paper figures.
+
+Exposed as ``python -m repro``.  Three subcommands:
+
+``simulate``
+    Run one scheme on one scenario and print the metric summary.
+``experiment``
+    Regenerate one of the paper's tables/figures (or an ablation) and
+    print its rows.
+``list``
+    List the available schemes, experiments and ablations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.payment import PaymentModel
+from .experiments.ablations import ALL_ABLATIONS
+from .experiments.figures import ALL_EXPERIMENTS
+from .experiments.runner import bench_scale
+from .sim.engine import Simulator
+from .sim.scenario import SCHEME_NAMES, ScenarioSpec, get_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="mT-Share reproduction: simulate ridesharing or regenerate paper figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one scheme on one scenario")
+    sim.add_argument("--scheme", choices=SCHEME_NAMES, default="mt-share")
+    sim.add_argument("--kind", choices=("peak", "nonpeak"), default="peak")
+    sim.add_argument("--taxis", type=int, default=100)
+    sim.add_argument("--capacity", type=int, default=3)
+    sim.add_argument("--rho", type=float, default=1.3)
+    sim.add_argument("--requests", type=int, default=600,
+                     help="expected busiest-hour request volume")
+    sim.add_argument("--grid", type=int, default=16,
+                     help="network grid side (vertices per side)")
+    sim.add_argument("--partitions", type=int, default=25)
+    sim.add_argument("--congestion", type=float, default=1.0,
+                     help="speed factor; < 1 slows traffic")
+    sim.add_argument("--seed", type=int, default=7)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=sorted(list(ALL_EXPERIMENTS) + list(ALL_ABLATIONS)))
+
+    sub.add_parser("list", help="list schemes, experiments, ablations")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    spec = ScenarioSpec(
+        kind=args.kind,
+        grid_rows=args.grid,
+        grid_cols=args.grid,
+        hourly_requests=args.requests,
+        history_days=3,
+        num_partitions=args.partitions,
+        congestion=args.congestion,
+        seed=args.seed,
+    )
+    scenario = get_scenario(spec)
+    config = scenario.default_config(rho=args.rho, capacity=args.capacity)
+    scheme = scenario.make_scheme(args.scheme, config=config)
+    requests = scenario.requests(rho=args.rho)
+    fleet = scenario.make_fleet(args.taxis, capacity=args.capacity)
+    print(
+        f"Simulating {scheme.name}: {len(requests)} requests, "
+        f"{args.taxis} taxis, {scenario.network.num_vertices} vertices"
+    )
+    metrics = Simulator(scheme, fleet, requests, payment=PaymentModel()).run()
+    for key, value in metrics.summary().items():
+        print(f"  {key:18s} {value}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    fn = ALL_EXPERIMENTS.get(args.name, ALL_ABLATIONS.get(args.name))
+    result = fn(bench_scale())
+    result.print()
+    return 0
+
+
+def _cmd_list() -> int:
+    print("schemes     :", ", ".join(SCHEME_NAMES))
+    print("experiments :", ", ".join(sorted(ALL_EXPERIMENTS)))
+    print("ablations   :", ", ".join(sorted(ALL_ABLATIONS)))
+    print("\nSet REPRO_BENCH_SCALE=full for paper-shaped sweeps.")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    return _cmd_list()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""The paper's core contribution: indexing, matching, routing, payment."""
+
+from .matching import Matcher, MatchResult, request_vector, taxi_vector
+from .mobility_cluster import (
+    DEFAULT_LAMBDA,
+    MobilityClusterIndex,
+    MobilityVector,
+)
+from .mtshare import MTShare
+from .partition_filter import PartitionFilter
+from .payment import (
+    DEFAULT_BETA,
+    DEFAULT_ETA,
+    FareSchedule,
+    PassengerCharge,
+    PaymentModel,
+    Settlement,
+)
+from .routing import BasicRouter, ProbabilisticRouter, RouteInfeasible, compose_route
+
+__all__ = [
+    "BasicRouter",
+    "DEFAULT_BETA",
+    "DEFAULT_ETA",
+    "DEFAULT_LAMBDA",
+    "FareSchedule",
+    "MTShare",
+    "MatchResult",
+    "Matcher",
+    "MobilityClusterIndex",
+    "MobilityVector",
+    "PartitionFilter",
+    "PassengerCharge",
+    "PaymentModel",
+    "ProbabilisticRouter",
+    "RouteInfeasible",
+    "Settlement",
+    "compose_route",
+    "request_vector",
+    "taxi_vector",
+]

@@ -1,0 +1,324 @@
+"""Passenger-taxi matching: candidate searching and taxi scheduling.
+
+This implements Section IV-C of the paper.  For a request ``r_i``:
+
+* **Candidate taxi searching** intersects two index views (Eq. 3): the
+  taxis in (or soon arriving at) the map partitions overlapping the
+  searching disc around ``o_{r_i}``, and the taxis of the mobility
+  clusters aligned with ``r_i``'s travel direction.  Empty taxis inside
+  the disc are added, then taxis with no spare capacity and taxis that
+  cannot reach the pick-up before its deadline are filtered out.
+* **Taxi scheduling** (Algorithm 1) enumerates every insertion of the
+  pick-up/drop-off pair into each candidate's existing stop sequence,
+  keeps the feasible instances, and picks the one with the minimum
+  detour cost ``omega = cost(R') - cost(R)`` (Eq. 4).
+
+Schedule instances are evaluated with O(1) cached shortest-path costs
+(the paper's stated assumption); the concrete route of each candidate's
+best instance is then planned by the configured router — basic or
+probabilistic — and the final winner is chosen by *actual* route
+detour, so probabilistic detours are fully accounted for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from ..demand.request import RideRequest
+from ..fleet.schedule import Stop, arrival_times, capacity_ok, deadlines_met, enumerate_insertions
+from ..fleet.taxi import Taxi, TaxiRoute
+from ..index.partition_index import PartitionTaxiIndex
+from ..network.graph import RoadNetwork
+from ..network.landmarks import LandmarkGraph
+from ..network.shortest_path import ShortestPathEngine
+from .mobility_cluster import MobilityClusterIndex, MobilityVector
+from .routing import BasicRouter, RouteInfeasible
+
+
+@dataclass(frozen=True, slots=True)
+class MatchResult:
+    """A successful passenger-taxi match ready to install on the taxi."""
+
+    taxi_id: int
+    stops: tuple[Stop, ...]
+    route: TaxiRoute
+    detour_cost: float
+    num_candidates: int
+    probabilistic: bool = False
+
+
+def request_vector(network: RoadNetwork, request: RideRequest) -> MobilityVector:
+    """Mobility vector of a request: origin point to destination point."""
+    ox, oy = network.xy[request.origin]
+    dx, dy = network.xy[request.destination]
+    return MobilityVector(float(ox), float(oy), float(dx), float(dy))
+
+
+def taxi_vector(network: RoadNetwork, taxi: Taxi, now: float) -> MobilityVector | None:
+    """Mobility vector of a busy taxi (Section IV-B2).
+
+    Points from the taxi's current position to the centroid of the
+    destinations of every passenger it is committed to (onboard and
+    assigned).  ``None`` for an empty, unassigned taxi — the paper does
+    not cluster empty taxis because they have no travel destination.
+    """
+    requests = list(taxi.onboard.values()) + list(taxi.assigned.values())
+    if not requests:
+        return None
+    node, _t = taxi.position_at(now)
+    ox, oy = network.xy[node]
+    xs = 0.0
+    ys = 0.0
+    for r in requests:
+        px, py = network.xy[r.destination]
+        xs += float(px)
+        ys += float(py)
+    n = len(requests)
+    return MobilityVector(float(ox), float(oy), xs / n, ys / n)
+
+
+class Matcher:
+    """Candidate searching plus minimum-detour scheduling for mT-Share.
+
+    Parameters
+    ----------
+    network, engine:
+        Road network and cached shortest-path engine.
+    landmark_graph:
+        Partition geometry used to map the searching disc to partitions.
+    partition_index:
+        ``P_z.L_t`` lists with taxi arrival times.
+    cluster_index:
+        Mobility clusters with their taxi lists ``C_a.L_t``.
+    config:
+        System parameters (``gamma``, ``lambda``, capacity, ...).
+    basic_router:
+        Router used to build concrete routes for non-probabilistic
+        matches.
+    probabilistic_router:
+        Router used when a match should seek offline requests; optional.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        engine: ShortestPathEngine,
+        landmark_graph: LandmarkGraph,
+        partition_index: PartitionTaxiIndex,
+        cluster_index: MobilityClusterIndex,
+        config: SystemConfig,
+        basic_router: BasicRouter,
+        probabilistic_router: BasicRouter | None = None,
+    ) -> None:
+        self._network = network
+        self._engine = engine
+        self._lg = landmark_graph
+        self._pindex = partition_index
+        self._cindex = cluster_index
+        self._config = config
+        self._basic = basic_router
+        self._prob = probabilistic_router
+
+    # ------------------------------------------------------------------
+    # candidate searching
+    # ------------------------------------------------------------------
+    def candidate_taxis(
+        self,
+        request: RideRequest,
+        fleet: dict[int, Taxi],
+        now: float,
+    ) -> list[Taxi]:
+        """The refined candidate set ``T_{r_i}`` (Eq. 3 plus the 3 rules)."""
+        if self._config.mtshare_adaptive_gamma:
+            # Eq. 2: the searching range is exactly the reachability
+            # radius of the request's waiting budget, so inbound taxis
+            # beyond any static range (Fig. 1's taxi t3) are visible.
+            gamma = max(0.0, request.max_wait) * self._config.speed_mps
+        else:
+            gamma = self._config.gamma_for_wait(request.max_wait)
+        ox, oy = self._network.xy[request.origin]
+        disc_partitions = self._lg.partitions_intersecting_disc(float(ox), float(oy), gamma)
+        pool = self._pindex.union_taxis(disc_partitions)
+        if not pool:
+            return []
+
+        vec = request_vector(self._network, request)
+        aligned = self._cindex.aligned_taxis(vec)
+
+        origin_partition = self._lg.partition_of(request.origin)
+        candidates: list[Taxi] = []
+        for taxi_id in pool:
+            taxi = fleet.get(taxi_id)
+            if taxi is None:
+                continue
+            # Rule 1: empty taxis in the disc partitions always qualify.
+            # Busy taxis must travel the request's way: either their
+            # mobility cluster is aligned, or — since clusters assign
+            # each taxi to a single best cluster and can therefore miss
+            # borderline cases — their own mobility vector is.
+            if not taxi.idle and taxi_id not in aligned:
+                tv = self._cindex.taxi_vector(taxi_id)
+                if tv is None or vec.similarity(tv) < self._cindex.lam:
+                    continue
+            # Rule 2: no idle capacity -> out.
+            if taxi.committed + request.num_passengers > taxi.capacity:
+                continue
+            # Rule 3: must reach the pick-up before its deadline.  The
+            # indexed route arrival admits quickly; when it is absent or
+            # late the exact O(1) shortest-path bound decides (a taxi
+            # whose planned route arrives late can still divert).
+            arrival = self._pindex.arrival_time(origin_partition, taxi_id)
+            if arrival is None or arrival > request.pickup_deadline:
+                node, ready = taxi.position_at(now)
+                arrival = ready + self._engine.cost(node, request.origin)
+            if arrival > request.pickup_deadline:
+                continue
+            candidates.append(taxi)
+        return candidates
+
+    # ------------------------------------------------------------------
+    # taxi scheduling (Algorithm 1)
+    # ------------------------------------------------------------------
+    def _best_insertion(
+        self,
+        taxi: Taxi,
+        request: RideRequest,
+        now: float,
+    ) -> tuple[float, list[Stop]] | None:
+        """Minimum-detour feasible insertion for one taxi, by O(1) costs.
+
+        Returns ``(detour_cost, stops)`` or ``None`` when no instance is
+        feasible.
+        """
+        node, ready = taxi.position_at(now)
+        pending = taxi.pending_stops()
+        current_cost = taxi.remaining_route_cost(ready)
+        onboard = taxi.occupancy
+        cost_fn = self._engine.cost
+
+        best: tuple[float, list[Stop]] | None = None
+        for _i, _j, stops in enumerate_insertions(pending, request):
+            if not capacity_ok(stops, onboard, taxi.capacity):
+                continue
+            times = arrival_times(node, ready, stops, cost_fn)
+            if not deadlines_met(stops, times):
+                continue
+            detour = (times[-1] - ready) - current_cost
+            if best is None or detour < best[0]:
+                best = (detour, stops)
+        return best
+
+    def _should_go_probabilistic(self, taxi: Taxi, request: RideRequest) -> bool:
+        """Whether this match should plan a probability-seeking route.
+
+        Requires a probabilistic router and enough idle seats after the
+        new passengers board (the paper: at least half the capacity).
+        """
+        if self._prob is None:
+            return False
+        idle_after = taxi.capacity - taxi.committed - request.num_passengers
+        return idle_after >= taxi.capacity * self._config.probabilistic_idle_seats
+
+    def match(
+        self,
+        request: RideRequest,
+        fleet: dict[int, Taxi],
+        now: float,
+    ) -> MatchResult | None:
+        """Full Algorithm 1: search candidates, pick the min-detour taxi.
+
+        Returns ``None`` when no taxi can feasibly serve the request.
+        """
+        candidates = self.candidate_taxis(request, fleet, now)
+        if not candidates:
+            return None
+
+        # Evaluate every candidate's best insertion with O(1) cached
+        # costs, then plan concrete routes lazily in detour order: the
+        # first candidate whose route survives planning is the winner.
+        scored: list[tuple[float, Taxi, list[Stop]]] = []
+        for taxi in candidates:
+            best = self._best_insertion(taxi, request, now)
+            if best is not None:
+                scored.append((best[0], taxi, best[1]))
+        scored.sort(key=lambda item: (item[0], item[1].taxi_id))
+
+        for est_detour, taxi, stops in scored:
+            node, ready = taxi.position_at(now)
+            use_prob = self._should_go_probabilistic(taxi, request)
+            route = None
+            if use_prob:
+                vec = taxi_vector_with(self._network, taxi, request, now)
+                try:
+                    route = self._prob.route_for_schedule(node, ready, stops, taxi_vector=vec)
+                except RouteInfeasible:
+                    use_prob = False
+            if route is None:
+                try:
+                    route = self._basic.route_for_schedule(node, ready, stops)
+                    use_prob = False
+                except RouteInfeasible:
+                    continue
+            actual_detour = route.total_cost() - taxi.remaining_route_cost(ready)
+            return MatchResult(
+                taxi_id=taxi.taxi_id,
+                stops=tuple(stops),
+                route=route,
+                detour_cost=actual_detour,
+                num_candidates=len(candidates),
+                probabilistic=use_prob,
+            )
+        return None
+
+    def insertion_for_taxi(
+        self,
+        taxi: Taxi,
+        request: RideRequest,
+        now: float,
+    ) -> MatchResult | None:
+        """Feasible min-detour insertion into one specific taxi.
+
+        Used when a taxi *encounters* an offline request on the street:
+        only this taxi's schedule is examined (Section IV-C2).
+        """
+        if taxi.committed + request.num_passengers > taxi.capacity:
+            return None
+        best = self._best_insertion(taxi, request, now)
+        if best is None:
+            return None
+        _detour, stops = best
+        node, ready = taxi.position_at(now)
+        try:
+            route = self._basic.route_for_schedule(node, ready, stops)
+        except RouteInfeasible:
+            return None
+        return MatchResult(
+            taxi_id=taxi.taxi_id,
+            stops=tuple(stops),
+            route=route,
+            detour_cost=route.total_cost() - taxi.remaining_route_cost(ready),
+            num_candidates=1,
+        )
+
+
+def taxi_vector_with(
+    network: RoadNetwork,
+    taxi: Taxi,
+    request: RideRequest,
+    now: float,
+) -> MobilityVector:
+    """Taxi mobility vector *after* hypothetically accepting ``request``.
+
+    Probabilistic routing plans for the taxi's direction including the
+    new passenger's destination.
+    """
+    node, _t = taxi.position_at(now)
+    ox, oy = network.xy[node]
+    dests = [r.destination for r in taxi.onboard.values()]
+    dests += [r.destination for r in taxi.assigned.values()]
+    dests.append(request.destination)
+    xs = sum(float(network.xy[d][0]) for d in dests)
+    ys = sum(float(network.xy[d][1]) for d in dests)
+    n = len(dests)
+    return MobilityVector(float(ox), float(oy), xs / n, ys / n)

@@ -1,0 +1,256 @@
+"""Mobility vectors and mobility clustering (Section IV-B2 of the paper).
+
+A *mobility vector* (Definition 9) points from an origin to a
+destination; two movers can plausibly share a taxi when their vectors'
+travel directions are similar, measured by cosine similarity (Eq. 1)
+against a threshold ``lambda`` (the paper defaults to cos 45 deg ~ 0.707).
+
+Requests and busy taxis are grouped into *mobility clusters*: the first
+request seeds a cluster, later ones join the best cluster whose general
+vector is within ``lambda`` or found a new one.  Each cluster maintains
+a *general mobility vector* (member origins and destinations averaged)
+and a taxi list ``C_a.L_t`` of the busy taxis travelling the same way —
+the right-hand side of the candidate-search intersection (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..network.geo import cosine_similarity
+
+#: Default direction threshold: cos(45 degrees).
+DEFAULT_LAMBDA = 0.707
+
+
+@dataclass(frozen=True, slots=True)
+class MobilityVector:
+    """A directed origin -> destination vector on the plane (Definition 9)."""
+
+    ox: float
+    oy: float
+    dx: float
+    dy: float
+
+    @property
+    def direction(self) -> tuple[float, float]:
+        """The travel-direction components ``(dx - ox, dy - oy)``."""
+        return (self.dx - self.ox, self.dy - self.oy)
+
+    def similarity(self, other: "MobilityVector") -> float:
+        """Cosine similarity of the two travel directions (Eq. 1)."""
+        ax, ay = self.direction
+        bx, by = other.direction
+        return cosine_similarity(ax, ay, bx, by)
+
+    def is_aligned(self, other: "MobilityVector", lam: float = DEFAULT_LAMBDA) -> bool:
+        """Whether the direction difference is small enough (cos >= lambda)."""
+        return self.similarity(other) >= lam
+
+
+class _Cluster:
+    """Internal cluster state: member sums for the general vector."""
+
+    __slots__ = (
+        "cluster_id",
+        "members",
+        "sum_ox",
+        "sum_oy",
+        "sum_dx",
+        "sum_dy",
+        "taxis",
+        "_cached_vector",
+    )
+
+    def __init__(self, cluster_id: int) -> None:
+        self.cluster_id = cluster_id
+        self.members: dict[int, MobilityVector] = {}
+        self.sum_ox = 0.0
+        self.sum_oy = 0.0
+        self.sum_dx = 0.0
+        self.sum_dy = 0.0
+        self.taxis: set[int] = set()
+        self._cached_vector: MobilityVector | None = None
+
+    def add(self, member_id: int, vec: MobilityVector) -> None:
+        self.members[member_id] = vec
+        self.sum_ox += vec.ox
+        self.sum_oy += vec.oy
+        self.sum_dx += vec.dx
+        self.sum_dy += vec.dy
+        self._cached_vector = None
+
+    def remove(self, member_id: int) -> None:
+        vec = self.members.pop(member_id)
+        self.sum_ox -= vec.ox
+        self.sum_oy -= vec.oy
+        self.sum_dx -= vec.dx
+        self.sum_dy -= vec.dy
+        self._cached_vector = None
+
+    def general_vector(self) -> MobilityVector:
+        if self._cached_vector is None:
+            n = max(len(self.members), 1)
+            self._cached_vector = MobilityVector(
+                self.sum_ox / n, self.sum_oy / n, self.sum_dx / n, self.sum_dy / n
+            )
+        return self._cached_vector
+
+
+class MobilityClusterIndex:
+    """Incremental mobility clustering of requests plus taxi lists.
+
+    Parameters
+    ----------
+    lam:
+        Direction threshold ``lambda``; joining a cluster requires the
+        cosine similarity with its general vector to reach ``lam``.
+
+    The index is updated only when requests arrive or finish and when
+    taxi routes change, as the paper prescribes ("negligible
+    computation overheads").
+    """
+
+    def __init__(self, lam: float = DEFAULT_LAMBDA) -> None:
+        if not -1.0 <= lam <= 1.0:
+            raise ValueError("lambda must be a cosine in [-1, 1]")
+        self._lam = float(lam)
+        self._clusters: dict[int, _Cluster] = {}
+        self._cluster_of_request: dict[int, int] = {}
+        self._cluster_of_taxi: dict[int, int] = {}
+        self._taxi_vectors: dict[int, MobilityVector] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def lam(self) -> float:
+        """The direction threshold ``lambda``."""
+        return self._lam
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of live clusters."""
+        return len(self._clusters)
+
+    def cluster_ids(self) -> list[int]:
+        """Ids of all live clusters."""
+        return list(self._clusters)
+
+    def general_vector(self, cluster_id: int) -> MobilityVector:
+        """The cluster's general mobility vector."""
+        return self._clusters[cluster_id].general_vector()
+
+    def members_of(self, cluster_id: int) -> set[int]:
+        """Request ids currently in the cluster."""
+        return set(self._clusters[cluster_id].members)
+
+    def taxi_list(self, cluster_id: int) -> set[int]:
+        """``C_a.L_t``: busy taxis travelling with the cluster."""
+        return set(self._clusters[cluster_id].taxis)
+
+    def cluster_of_request(self, request_id: int) -> int | None:
+        """Cluster holding ``request_id``, if any."""
+        return self._cluster_of_request.get(request_id)
+
+    def cluster_of_taxi(self, taxi_id: int) -> int | None:
+        """Cluster whose taxi list holds ``taxi_id``, if any."""
+        return self._cluster_of_taxi.get(taxi_id)
+
+    # ------------------------------------------------------------------
+    # request side
+    # ------------------------------------------------------------------
+    def _best_cluster(self, vec: MobilityVector) -> tuple[int | None, float]:
+        best_id: int | None = None
+        best_sim = -2.0
+        for cid, cluster in self._clusters.items():
+            sim = vec.similarity(cluster.general_vector())
+            if sim > best_sim:
+                best_sim = sim
+                best_id = cid
+        return best_id, best_sim
+
+    def add_request(self, request_id: int, vec: MobilityVector) -> int:
+        """Place a request: join the most similar cluster or found a new one.
+
+        Returns the cluster id the request ended up in.
+        """
+        if request_id in self._cluster_of_request:
+            raise ValueError(f"request {request_id} is already clustered")
+        best_id, best_sim = self._best_cluster(vec)
+        if best_id is None or best_sim < self._lam:
+            cluster = _Cluster(self._next_id)
+            self._next_id += 1
+            self._clusters[cluster.cluster_id] = cluster
+            best_id = cluster.cluster_id
+        self._clusters[best_id].add(request_id, vec)
+        self._cluster_of_request[request_id] = best_id
+        return best_id
+
+    def remove_request(self, request_id: int) -> None:
+        """Drop a finished/expired request; empty clusters are deleted."""
+        cid = self._cluster_of_request.pop(request_id, None)
+        if cid is None:
+            return
+        cluster = self._clusters[cid]
+        cluster.remove(request_id)
+        if not cluster.members:
+            for taxi_id in cluster.taxis:
+                self._cluster_of_taxi.pop(taxi_id, None)
+            del self._clusters[cid]
+
+    def matching_clusters(self, vec: MobilityVector) -> list[int]:
+        """Clusters whose general vector is aligned with ``vec``.
+
+        Candidate searching uses the aligned clusters' taxi lists; in
+        the common case this is a single cluster (the paper's ``C_a``).
+        """
+        return [
+            cid
+            for cid, cluster in self._clusters.items()
+            if vec.similarity(cluster.general_vector()) >= self._lam
+        ]
+
+    def aligned_taxis(self, vec: MobilityVector) -> set[int]:
+        """Union of ``C_a.L_t`` over all clusters aligned with ``vec``."""
+        out: set[int] = set()
+        for cid in self.matching_clusters(vec):
+            out.update(self._clusters[cid].taxis)
+        return out
+
+    # ------------------------------------------------------------------
+    # taxi side
+    # ------------------------------------------------------------------
+    def update_taxi(self, taxi_id: int, vec: MobilityVector | None) -> int | None:
+        """(Re)assign a busy taxi to the most aligned cluster.
+
+        ``vec`` is the taxi's mobility vector — current location to the
+        centroid of its passengers' destinations.  Pass ``None`` for an
+        empty taxi (the paper does not cluster empty taxis); the taxi is
+        then removed from any cluster.  Returns the new cluster id.
+        """
+        old = self._cluster_of_taxi.pop(taxi_id, None)
+        if old is not None and old in self._clusters:
+            self._clusters[old].taxis.discard(taxi_id)
+        if vec is None:
+            self._taxi_vectors.pop(taxi_id, None)
+            return None
+        self._taxi_vectors[taxi_id] = vec
+        best_id, best_sim = self._best_cluster(vec)
+        if best_id is None or best_sim < self._lam:
+            return None
+        self._clusters[best_id].taxis.add(taxi_id)
+        self._cluster_of_taxi[taxi_id] = best_id
+        return best_id
+
+    def taxi_vector(self, taxi_id: int) -> MobilityVector | None:
+        """Last known mobility vector of a busy taxi."""
+        return self._taxi_vectors.get(taxi_id)
+
+    def memory_bytes(self) -> int:
+        """Rough footprint of the clustering structures."""
+        total = 0
+        for cluster in self._clusters.values():
+            total += 128 + 72 * len(cluster.members) + 28 * len(cluster.taxis)
+        total += 56 * (len(self._cluster_of_request) + len(self._cluster_of_taxi))
+        total += 72 * len(self._taxi_vectors)
+        return total

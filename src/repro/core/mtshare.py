@@ -1,0 +1,180 @@
+"""The mT-Share dispatcher: the paper's primary contribution, assembled.
+
+:class:`MTShare` wires together bipartite map partitions, the landmark
+graph, the transition model, the two-level taxi/request indexes, the
+partition-filtered routers and the matcher into a
+:class:`~repro.baselines.base.DispatchScheme` the simulator can drive.
+``MTShare(probabilistic=True)`` is the paper's *mT-Share_pro* variant:
+matched taxis with enough idle seats plan probability-seeking routes to
+encounter offline street-hailing requests.
+"""
+
+from __future__ import annotations
+
+from ..baselines.base import DispatchScheme
+from ..config import SystemConfig
+from ..demand.request import RideRequest
+from ..fleet.taxi import Taxi
+from ..index.partition_index import PartitionTaxiIndex
+from ..network.graph import RoadNetwork
+from ..network.landmarks import LandmarkGraph
+from ..network.shortest_path import ShortestPathEngine
+from ..partitioning.bipartite import MapPartitioning
+from .matching import Matcher, MatchResult, request_vector, taxi_vector
+from .mobility_cluster import MobilityClusterIndex
+from .partition_filter import PartitionFilter
+from .routing import BasicRouter, ProbabilisticRouter
+
+
+class MTShare(DispatchScheme):
+    """Mobility-aware dynamic taxi ridesharing (Sections IV-B and IV-C).
+
+    Parameters
+    ----------
+    network, engine:
+        Road network and cached shortest-path engine.
+    config:
+        System parameters (Table II).
+    partitioning:
+        A :class:`MapPartitioning` — normally bipartite, but any
+        strategy works, which is how the Table V ablation runs mT-Share
+        on grid partitions.  Must carry a fitted transition model when
+        ``probabilistic`` is requested.
+    probabilistic:
+        Enable probabilistic routing (the mT-Share_pro variant).
+    demand_predictor:
+        Optional hour-aware pick-up predictor
+        (:class:`~repro.demand.prediction.DemandPredictor`); when given,
+        idle cruising targets the partitions hot at the current hour.
+    """
+
+    name = "mT-Share"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        engine: ShortestPathEngine,
+        config: SystemConfig,
+        partitioning: MapPartitioning,
+        probabilistic: bool = False,
+        demand_predictor=None,
+    ) -> None:
+        super().__init__(network, engine, config)
+        if probabilistic and partitioning.transition_model is None:
+            raise ValueError("probabilistic routing needs a fitted transition model")
+        self._partitioning = partitioning
+        self._landmarks = LandmarkGraph(network, partitioning.partitions, engine)
+        self._filter = PartitionFilter(self._landmarks, lam=config.lam, epsilon=config.epsilon)
+        self._basic_router = BasicRouter(network, engine, self._filter)
+        self._prob_router = None
+        if probabilistic:
+            self._prob_router = ProbabilisticRouter(
+                network,
+                engine,
+                self._filter,
+                partitioning.transition_model,
+                lam=config.lam,
+                max_attempts=config.max_probabilistic_attempts,
+                steering_m=config.prob_steering_m,
+            )
+            self._prob_router.demand_predictor = demand_predictor
+            self.name = "mT-Share-pro"
+        self._pindex = PartitionTaxiIndex(
+            self._landmarks.num_partitions, horizon_s=config.index_horizon_s
+        )
+        self._cindex = MobilityClusterIndex(lam=config.lam)
+        self._matcher = Matcher(
+            network,
+            engine,
+            self._landmarks,
+            self._pindex,
+            self._cindex,
+            config,
+            self._basic_router,
+            self._prob_router,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def landmark_graph(self) -> LandmarkGraph:
+        """Partition geometry and landmark costs."""
+        return self._landmarks
+
+    @property
+    def partition_index(self) -> PartitionTaxiIndex:
+        """``P_z.L_t`` taxi lists."""
+        return self._pindex
+
+    @property
+    def cluster_index(self) -> MobilityClusterIndex:
+        """Mobility clusters with ``C_a.L_t`` taxi lists."""
+        return self._cindex
+
+    @property
+    def matcher(self) -> Matcher:
+        """The candidate-search + scheduling engine."""
+        return self._matcher
+
+    @property
+    def probabilistic(self) -> bool:
+        """Whether this instance is the mT-Share_pro variant."""
+        return self._prob_router is not None
+
+    # ------------------------------------------------------------------
+    def _index_taxi(self, taxi: Taxi, now: float) -> None:
+        """Refresh both index views for one taxi.
+
+        Busy and *cruising* taxis are indexed by their remaining route
+        (the partition lists record future arrivals); parked taxis by
+        their current partition.  Only taxis with passengers carry a
+        mobility vector.
+        """
+        route = taxi.route
+        start = taxi._route_cursor  # noqa: SLF001 - fleet and core cooperate
+        if start < len(route.nodes):
+            self._pindex.update_taxi_from_route(
+                taxi.taxi_id,
+                route.nodes[start:],
+                route.times[start:],
+                self._landmarks.partition_of,
+                now,
+            )
+        else:
+            partition = self._landmarks.partition_of(taxi.loc)
+            self._pindex.place_idle_taxi(taxi.taxi_id, partition, now)
+        self._cindex.update_taxi(taxi.taxi_id, taxi_vector(self._network, taxi, now))
+
+    def dispatch(self, request: RideRequest, now: float) -> MatchResult | None:
+        """Match an online request to the minimum-detour suitable taxi."""
+        return self._matcher.match(request, self._fleet, now)
+
+    def install(self, result: MatchResult, request: RideRequest, now: float) -> Taxi:
+        """Install the plan and register the request in its mobility cluster.
+
+        mT-Share's matcher already planned any probabilistic route, so
+        the raw plan application is used directly (no re-planning).
+        """
+        taxi = self._apply_plan(result, request, now)
+        if self._cindex.cluster_of_request(request.request_id) is None:
+            self._cindex.add_request(request.request_id, request_vector(self._network, request))
+        return taxi
+
+    def on_request_finished(self, request: RideRequest) -> None:
+        """Drop the finished request from its mobility cluster."""
+        self._cindex.remove_request(request.request_id)
+
+    def try_offline(self, taxi: Taxi, request: RideRequest, now: float) -> MatchResult | None:
+        """Offline encounter: examine only this taxi's schedule."""
+        return self._matcher.insertion_for_taxi(taxi, request, now)
+
+    def index_memory_bytes(self) -> int:
+        """Footprint of both index views (Table IV's "index size")."""
+        return self._pindex.memory_bytes() + self._cindex.memory_bytes()
+
+    def total_memory_bytes(self) -> int:
+        """Index plus partition/landmark/transition support structures."""
+        total = self.index_memory_bytes() + self._landmarks.memory_bytes()
+        model = self._partitioning.transition_model
+        if model is not None:
+            total += model.memory_bytes()
+        return total

@@ -1,0 +1,527 @@
+"""Segment-level route planning: basic and probabilistic routing.
+
+mT-Share plans a taxi route for a schedule instance leg by leg (every
+consecutive stop pair), in two phases (Section IV-C2):
+
+1. **Partition filtering** (Algorithm 2) prunes the road graph to the
+   partitions roughly along the leg.
+2. **Segment-level routing** finds the leg path inside the pruned
+   subgraph.  *Basic routing* (Algorithm 3) takes the shortest path.
+   *Probabilistic routing* (Algorithm 4) instead maximises the chance
+   of encountering *suitable offline requests*: it scores each retained
+   partition by the probability that trips hailed there head the taxi's
+   way, picks the max-weight landmark path between the leg's endpoint
+   partitions, and runs a vertex-weighted Dijkstra (weight ``1/psi_c``)
+   inside that partition corridor — retrying with the next-best
+   corridor (at most five attempts) whenever the resulting leg would
+   break a passenger deadline.
+
+Both modes return a :class:`~repro.fleet.taxi.TaxiRoute` whose times
+are true travel times, so deadline bookkeeping downstream is exact.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from ..fleet.schedule import Stop, arrival_times, deadlines_met
+from ..fleet.taxi import TaxiRoute
+from ..network.geo import cosine_similarity
+from ..network.graph import RoadNetwork
+from ..network.shortest_path import PathNotFound, ShortestPathEngine, dijkstra_restricted
+from ..partitioning.transition import TransitionModel
+from .mobility_cluster import MobilityVector
+from .partition_filter import PartitionFilter
+
+#: Floor applied to psi_c so 1/psi_c vertex weights stay finite.
+MIN_PSI = 1e-6
+
+#: Cap on the number of landmark paths enumerated per corridor search.
+MAX_ENUMERATED_PATHS = 400
+
+#: Extra partition hops allowed beyond the minimum when enumerating
+#: corridors; longer corridors only waste deadline slack.
+CORRIDOR_EXTRA_HOPS = 3
+
+
+class RouteInfeasible(RuntimeError):
+    """Raised when no deadline-respecting route exists for a schedule."""
+
+
+def compose_route(
+    network: RoadNetwork,
+    start_node: int,
+    start_time: float,
+    legs: Sequence[Sequence[int]],
+) -> TaxiRoute:
+    """Concatenate leg paths into a :class:`TaxiRoute` with true times.
+
+    Leg ``k`` must start where leg ``k-1`` ended; the end of each leg
+    is marked as the position of schedule stop ``k``.
+    """
+    nodes = [start_node]
+    times = [start_time]
+    stop_positions = []
+    for leg in legs:
+        if not leg or leg[0] != nodes[-1]:
+            raise ValueError(f"leg {leg!r} does not start at {nodes[-1]}")
+        for u, v in zip(leg, leg[1:]):
+            times.append(times[-1] + network.edge_cost(u, v))
+            nodes.append(v)
+        stop_positions.append(len(nodes) - 1)
+    return TaxiRoute(nodes=nodes, times=times, stop_positions=stop_positions)
+
+
+class BasicRouter:
+    """Shortest-path routing accelerated by partition filtering (Alg. 3).
+
+    Parameters
+    ----------
+    network, engine:
+        Road network and its cached shortest-path engine.
+    partition_filter:
+        The memoised Algorithm 2 instance; ``None`` disables filtering
+        (plain cached shortest paths), which is what the grid-based
+        baselines effectively do.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        engine: ShortestPathEngine,
+        partition_filter: PartitionFilter | None = None,
+    ) -> None:
+        self._network = network
+        self._engine = engine
+        self._filter = partition_filter
+        self.fallbacks = 0  # legs where filtering had to be bypassed
+
+    @property
+    def network(self) -> RoadNetwork:
+        """The road network."""
+        return self._network
+
+    @property
+    def engine(self) -> ShortestPathEngine:
+        """The shortest-path engine (O(1) cost queries)."""
+        return self._engine
+
+    def cost(self, u: int, v: int) -> float:
+        """Leg travel cost in seconds — the cached shortest-path cost.
+
+        Matching evaluates schedule instances with this O(1) query, as
+        the paper assumes for its complexity analysis.
+        """
+        return self._engine.cost(u, v)
+
+    def leg_path(self, u: int, v: int) -> list[int]:
+        """Leg path from ``u`` to ``v`` (Algorithm 3's segment routing).
+
+        With a full all-pairs cache the shortest path is already
+        materialised, so partition filtering buys nothing and the cache
+        answers directly — this mirrors the paper's own setup, which
+        precomputes and caches all shortest paths (Section V-A4).  In
+        lazy mode the filter earns its keep: Dijkstra runs on the
+        pruned subgraph, falling back to the full graph only when the
+        pruned one disconnects the endpoints (one-way streets cut at a
+        partition boundary), counted in :attr:`fallbacks`.
+        """
+        if u == v:
+            return [u]
+        if self._filter is not None and self._engine.mode != "full":
+            allowed = self._filter.allowed_vertices(
+                self._filter.landmark_graph.partition_of(u),
+                self._filter.landmark_graph.partition_of(v),
+            )
+            try:
+                _cost, path = dijkstra_restricted(self._network, u, v, allowed)
+                return path
+            except PathNotFound:
+                self.fallbacks += 1
+        return self._engine.path(u, v)
+
+    def route_for_schedule(
+        self,
+        start_node: int,
+        start_time: float,
+        stops: Sequence[Stop],
+        taxi_vector: MobilityVector | None = None,
+    ) -> TaxiRoute:
+        """Plan the full route for a schedule (the ``|><|`` concatenation).
+
+        ``taxi_vector`` is accepted for interface compatibility with
+        :class:`ProbabilisticRouter` and ignored here.
+
+        Raises :class:`RouteInfeasible` when any stop deadline cannot
+        be met along the produced route.
+        """
+        legs = []
+        node = start_node
+        for stop in stops:
+            legs.append(self.leg_path(node, stop.node))
+            node = stop.node
+        route = compose_route(self._network, start_node, start_time, legs)
+        stop_times = [route.times[i] for i in route.stop_positions]
+        if deadlines_met(stops, stop_times):
+            return route
+        # The filtered subgraph can miss the true shortest path (one-way
+        # streets cut by the partition boundary); retry with exact
+        # shortest paths before declaring the schedule infeasible.
+        self.fallbacks += 1
+        legs = []
+        node = start_node
+        for stop in stops:
+            legs.append(self._engine.path(node, stop.node))
+            node = stop.node
+        route = compose_route(self._network, start_node, start_time, legs)
+        stop_times = [route.times[i] for i in route.stop_positions]
+        if not deadlines_met(stops, stop_times):
+            raise RouteInfeasible("a stop deadline is violated on the planned route")
+        return route
+
+
+class ProbabilisticRouter(BasicRouter):
+    """Probabilistic routing (Algorithm 4).
+
+    Parameters
+    ----------
+    transition_model:
+        Historical transition statistics aligned with the partitions of
+        ``partition_filter``'s landmark graph.
+    lam:
+        Direction threshold used to decide which destination partitions
+        make an offline request *suitable* for the taxi.
+    max_attempts:
+        Corridor retries before giving up on a leg (paper: 5).
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        engine: ShortestPathEngine,
+        partition_filter: PartitionFilter,
+        transition_model: TransitionModel,
+        lam: float = 0.707,
+        max_attempts: int = 5,
+        steering_m: float = 120.0,
+    ) -> None:
+        if partition_filter is None:
+            raise ValueError("probabilistic routing requires a partition filter")
+        super().__init__(network, engine, partition_filter)
+        self._model = transition_model
+        self._lam = float(lam)
+        self._max_attempts = int(max_attempts)
+        self._steering_m = max(0.0, float(steering_m))
+        #: Optional hour-aware demand predictor; when set, cruising
+        #: targets the partitions that are hot at the current hour
+        #: instead of hot on average.
+        self.demand_predictor = None
+        self._pd_cache: dict[tuple[int, int, int], list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # step 1: suitability probabilities
+    # ------------------------------------------------------------------
+    def _suitable_destinations(
+        self, pi: int, direction: tuple[float, float]
+    ) -> list[int]:
+        """Destination partitions making a request from ``pi`` suitable.
+
+        A request hailed in ``P_i`` is suitable when its implied travel
+        direction (landmark of ``P_i`` to the destination partition's
+        landmark) is aligned with the taxi's direction.
+        """
+        lg = self._filter.landmark_graph
+        # Quantise the direction into 16 sectors so the cache is effective.
+        dx, dy = direction
+        if dx == 0.0 and dy == 0.0:
+            sector = 0
+        else:
+            sector = int(8.0 * (1.0 + math.atan2(dy, dx) / math.pi)) % 16
+        key = (pi, sector)
+        cached = self._pd_cache.get(key)
+        if cached is not None:
+            return cached
+        ix, iy = lg.landmark_xy(pi)
+        out = []
+        for pa in range(lg.num_partitions):
+            if pa == pi:
+                continue
+            ax, ay = lg.landmark_xy(pa)
+            if cosine_similarity(ax - ix, ay - iy, dx, dy) >= self._lam:
+                out.append(pa)
+        self._pd_cache[key] = out
+        return out
+
+    def partition_probability(self, pi: int, direction: tuple[float, float]) -> float:
+        """``pi_i``: probability of meeting a suitable request in ``P_i``."""
+        dests = self._suitable_destinations(pi, direction)
+        lg = self._filter.landmark_graph
+        return self._model.partition_probability(lg.members(pi), dests)
+
+    # ------------------------------------------------------------------
+    # step 2: max-weight landmark paths
+    # ------------------------------------------------------------------
+    def _corridors(
+        self,
+        retained: list[int],
+        pz: int,
+        pz1: int,
+        weight: dict[int, float],
+    ) -> list[list[int]]:
+        """Simple landmark paths from ``pz`` to ``pz1`` inside ``retained``,
+        sorted by accumulated probability (descending), capped.
+
+        The landmark subgraph is small (the partitions that survive
+        filtering), so the paper enumerates all paths; we cap the
+        enumeration defensively and keep the best ones.
+        """
+        lg = self._filter.landmark_graph
+        if pz == pz1:
+            return [[pz]]
+        retained_set = set(retained)
+
+        # BFS hop distances to pz1 bound the DFS depth: corridors much
+        # longer than the shortest partition path only burn slack.
+        hops = {pz1: 0}
+        frontier = [pz1]
+        while frontier:
+            nxt_frontier = []
+            for node in frontier:
+                for nb in lg.neighbors(node):
+                    if nb in retained_set and nb not in hops:
+                        hops[nb] = hops[node] + 1
+                        nxt_frontier.append(nb)
+            frontier = nxt_frontier
+        if pz not in hops:
+            return []
+        max_len = hops[pz] + CORRIDOR_EXTRA_HOPS
+
+        paths: list[tuple[float, list[int]]] = []
+        budget = MAX_ENUMERATED_PATHS
+
+        def dfs(node: int, visited: set[int], acc: float, path: list[int]) -> None:
+            nonlocal budget
+            if budget <= 0:
+                return
+            if node == pz1:
+                budget -= 1
+                paths.append((acc, list(path)))
+                return
+            if len(path) + hops.get(node, max_len) > max_len + 1:
+                return
+            for nxt in lg.neighbors(node):
+                if nxt in retained_set and nxt not in visited and nxt in hops:
+                    visited.add(nxt)
+                    path.append(nxt)
+                    dfs(nxt, visited, acc + weight.get(nxt, 0.0), path)
+                    path.pop()
+                    visited.remove(nxt)
+
+        dfs(pz, {pz}, weight.get(pz, 0.0), [pz])
+        paths.sort(key=lambda p: -p[0])
+        return [p for _w, p in paths[: self._max_attempts]]
+
+    # ------------------------------------------------------------------
+    # step 3: fine-grained vertex-weighted routing
+    # ------------------------------------------------------------------
+    def _weighted_leg(
+        self,
+        u: int,
+        v: int,
+        corridor: list[int],
+        direction: tuple[float, float],
+    ) -> list[int] | None:
+        """Vertex-weighted shortest path inside the corridor partitions."""
+        lg = self._filter.landmark_graph
+        allowed: set[int] = set()
+        psi: dict[int, float] = {}
+        for pi in corridor:
+            dests = self._suitable_destinations(pi, direction)
+            for c in lg.members(pi):
+                allowed.add(c)
+                # psi_c: chance of a *suitable* request materialising at
+                # c — the accumulated transition probability towards the
+                # suitable destinations, weighted by how much pick-up
+                # demand c actually generates.
+                mass = self._model.mass_to(c, dests)
+                demand = self._model.relative_pickup_frequency(c)
+                psi[c] = max(mass * demand, MIN_PSI)
+        # The paper weights vertex c by 1/psi_c.  Raw reciprocals can be
+        # astronomically large for never-observed vertices and would make
+        # Dijkstra chase any observed vertex regardless of distance, so
+        # we use the bounded equivalent scale * (1 - psi_c / psi_max):
+        # minimising it prefers high-psi vertices, discounting up to
+        # ``scale`` seconds per hot vertex on top of the travel-time
+        # objective.  Normalising by the corridor's peak psi keeps the
+        # preference meaningful even when absolute probabilities are
+        # tiny (they always are: psi is a per-trip probability).
+        psi_max = max(psi.values(), default=MIN_PSI)
+        scale = self._network.meters_to_seconds(self._steering_m)
+
+        def weight(c: int) -> float:
+            return scale * (1.0 - psi.get(c, 0.0) / psi_max)
+
+        try:
+            _cost, path = dijkstra_restricted(self._network, u, v, allowed, vertex_weight=weight)
+            return path
+        except PathNotFound:
+            return None
+
+    def partition_demand_share(self, pi: int) -> float:
+        """Share of historical pick-up demand generated inside ``P_i``."""
+        lg = self._filter.landmark_graph
+        cached = getattr(self, "_demand_share", None)
+        if cached is None:
+            cached = []
+            for z in range(lg.num_partitions):
+                cached.append(
+                    sum(self._model.pickup_frequency(v) for v in lg.members(z))
+                )
+            self._demand_share = cached
+        return cached[pi]
+
+    def cruise_route(
+        self,
+        start_node: int,
+        start_time: float,
+        max_duration_s: float = 600.0,
+    ) -> TaxiRoute | None:
+        """A passenger-seeking cruise for an idle taxi (non-peak mode).
+
+        When online requests are inadequate, a vacant taxi heads for
+        the partition with the best demand-per-travel-time trade-off
+        and approaches it through demand-hot vertices.  Returns ``None``
+        when the taxi already stands in the best partition's hot spot.
+        """
+        import numpy as np
+
+        lg = self._filter.landmark_graph
+        here = lg.partition_of(start_node)
+        hour = int(start_time // 3600) % 24
+        candidates: list[int] = []
+        scores: list[float] = []
+        for pi in range(lg.num_partitions):
+            share = self.partition_demand_share(pi)
+            if self.demand_predictor is not None:
+                # Blend the hour-of-day rate with the overall share: the
+                # hourly estimate is sharper but noisier (few observed
+                # days per hour), the overall share is stable.
+                share = 0.5 * share + 0.5 * self.demand_predictor.share(pi, hour)
+            if share <= 0.0:
+                continue
+            travel = lg.landmark_cost(here, pi)
+            if travel > max_duration_s:
+                continue
+            candidates.append(pi)
+            scores.append(share / (1.0 + travel / 300.0))
+        if not candidates:
+            return None
+        # Sample the target proportionally to its score instead of
+        # taking the argmax: greedy targeting would herd every vacant
+        # taxi onto one hotspot and strip coverage everywhere else.
+        # The seed is derived from (position, time) so runs stay
+        # deterministic.
+        rng = np.random.default_rng((start_node * 1_000_003 + int(start_time)) & 0x7FFFFFFF)
+        weights = np.asarray(scores)
+        weights = weights / weights.sum()
+        best_target = int(candidates[rng.choice(len(candidates), p=weights)])
+        target_vertex = max(
+            lg.members(best_target), key=self._model.pickup_count
+        )
+        if target_vertex == start_node:
+            # Already parked on the hot spot; hop to the runner-up so the
+            # taxi keeps sweeping demand instead of standing still.
+            neighbors = [z for z in lg.neighbors(best_target)
+                         if self.partition_demand_share(z) > 0]
+            if not neighbors:
+                return None
+            nxt = max(neighbors, key=self.partition_demand_share)
+            target_vertex = max(lg.members(nxt), key=self._model.pickup_count)
+            if target_vertex == start_node:
+                return None
+            best_target = nxt
+        corridor = self._filter.filter_partitions(here, best_target)
+        path = self._weighted_leg(start_node, target_vertex, corridor, (0.0, 0.0))
+        if path is None or len(path) < 2:
+            try:
+                path = self._engine.path(start_node, target_vertex)
+            except PathNotFound:
+                return None
+            if len(path) < 2:
+                return None
+        nodes = [path[0]]
+        times = [start_time]
+        for u, v in zip(path, path[1:]):
+            times.append(times[-1] + self._network.edge_cost(u, v))
+            nodes.append(v)
+        # A cruise has no schedule stops: stop_positions stays empty.
+        return TaxiRoute(nodes=nodes, times=times, stop_positions=[])
+
+    def route_for_schedule(
+        self,
+        start_node: int,
+        start_time: float,
+        stops: Sequence[Stop],
+        taxi_vector: MobilityVector | None = None,
+    ) -> TaxiRoute:
+        """Plan a probability-seeking route meeting every stop deadline.
+
+        Per leg, corridors are tried best-first; a candidate leg is kept
+        only if the whole schedule remains feasible assuming shortest
+        paths for the remaining legs.  Exhausted attempts fall back to
+        the basic (shortest-path) leg; if even that breaks a deadline
+        the schedule instance is infeasible.
+        """
+        if taxi_vector is None:
+            return super().route_for_schedule(start_node, start_time, stops)
+        direction = taxi_vector.direction
+        lg = self._filter.landmark_graph
+
+        # Baseline slack: arrival times if every leg took the shortest path.
+        base_times = arrival_times(start_node, start_time, stops, self.cost)
+        if not deadlines_met(stops, base_times):
+            raise RouteInfeasible("schedule infeasible even with shortest paths")
+        # Remaining slack from each leg onwards.
+        slack_from = [0.0] * len(stops)
+        running = float("inf")
+        for k in range(len(stops) - 1, -1, -1):
+            running = min(running, stops[k].deadline - base_times[k])
+            slack_from[k] = running
+
+        legs: list[list[int]] = []
+        node = start_node
+        consumed_extra = 0.0
+        for k, stop in enumerate(stops):
+            shortest_cost = self.cost(node, stop.node)
+            budget = slack_from[k] - consumed_extra
+            chosen: list[int] | None = None
+
+            pz, pz1 = lg.partition_of(node), lg.partition_of(stop.node)
+            retained = self._filter.filter_partitions(pz, pz1)
+            weight = {pi: self.partition_probability(pi, direction) for pi in retained}
+            for corridor in self._corridors(retained, pz, pz1, weight):
+                path = self._weighted_leg(node, stop.node, corridor, direction)
+                if path is None:
+                    continue
+                extra = self._network.path_cost_s(path) - shortest_cost
+                if extra <= budget + 1e-9:
+                    chosen = path
+                    consumed_extra += max(0.0, extra)
+                    break
+            if chosen is None:
+                chosen = self.leg_path(node, stop.node)
+                extra = self._network.path_cost_s(chosen) - shortest_cost
+                if extra > budget + 1e-9:
+                    raise RouteInfeasible(
+                        f"no deadline-respecting leg from {node} to {stop.node}"
+                    )
+                consumed_extra += max(0.0, extra)
+            legs.append(chosen)
+            node = stop.node
+
+        route = compose_route(self._network, start_node, start_time, legs)
+        stop_times = [route.times[i] for i in route.stop_positions]
+        if not deadlines_met(stops, stop_times):
+            raise RouteInfeasible("probabilistic route misses a deadline")
+        return route

@@ -1,0 +1,97 @@
+"""Hour-aware demand prediction over map partitions.
+
+The paper mines *where* trips go (the transition model); its non-peak
+premise — taxis seeking street hails where demand is — also needs
+*when and where trips start*.  :class:`DemandPredictor` estimates the
+historical pick-up intensity of every map partition for every hour of
+the week-day/week-end cycle, so probabilistic cruising can aim at the
+areas that are hot *now* rather than hot on average.  This is the
+simple statistical end of the demand-prediction literature the paper
+cites ([40], [46], [52]); plugging in a learned model only requires the
+same ``rate(partition, hour)`` interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..demand.dataset import TripDataset
+
+
+class DemandPredictor:
+    """Per-partition, per-hour pick-up rates from historical trips.
+
+    Parameters
+    ----------
+    rates:
+        ``(num_partitions, 24)`` array: mean pick-ups per hour-of-day
+        in each partition, averaged over the observed days.
+    """
+
+    def __init__(self, rates: np.ndarray) -> None:
+        rates = np.asarray(rates, dtype=np.float64)
+        if rates.ndim != 2 or rates.shape[1] != 24:
+            raise ValueError("rates must be (num_partitions, 24)")
+        if (rates < 0).any():
+            raise ValueError("rates must be non-negative")
+        self._rates = rates
+
+    @classmethod
+    def fit(
+        cls,
+        history: TripDataset,
+        partition_of_vertex: np.ndarray,
+        num_partitions: int,
+    ) -> "DemandPredictor":
+        """Estimate rates from a historical trip dataset.
+
+        ``partition_of_vertex`` maps every road vertex to its partition
+        (a :class:`~repro.partitioning.bipartite.MapPartitioning`'s
+        ``labels``).  Each trip contributes one pick-up to its origin's
+        partition at its release hour; counts are averaged over the
+        number of days each hour-of-day was observed.
+        """
+        labels = np.asarray(partition_of_vertex, dtype=np.int64)
+        counts = np.zeros((num_partitions, 24), dtype=np.float64)
+        if len(history):
+            hours_abs = (history.release_times // 3600.0).astype(np.int64)
+            hod = hours_abs % 24
+            parts = labels[history.origins]
+            np.add.at(counts, (parts, hod), 1.0)
+            # Days observed per hour-of-day.
+            first = int(history.release_times.min() // 86400)
+            last = int(history.release_times.max() // 86400)
+            days = max(1, last - first + 1)
+            counts /= days
+        return cls(counts)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions covered."""
+        return self._rates.shape[0]
+
+    def rate(self, partition: int, hour: int) -> float:
+        """Expected pick-ups per hour in ``partition`` at hour-of-day."""
+        return float(self._rates[partition, hour % 24])
+
+    def rate_at_time(self, partition: int, t_seconds: float) -> float:
+        """Rate at an absolute simulation time."""
+        return self.rate(partition, int(t_seconds // 3600) % 24)
+
+    def hot_partitions(self, hour: int, top: int = 5) -> list[int]:
+        """The ``top`` partitions by pick-up rate at hour-of-day."""
+        column = self._rates[:, hour % 24]
+        order = np.argsort(-column, kind="stable")
+        return [int(z) for z in order[:top] if column[z] > 0]
+
+    def share(self, partition: int, hour: int) -> float:
+        """Partition's share of the city's pick-ups at hour-of-day."""
+        total = float(self._rates[:, hour % 24].sum())
+        if total <= 0:
+            return 0.0
+        return self.rate(partition, hour) / total
+
+    def memory_bytes(self) -> int:
+        """Footprint of the rate table."""
+        return self._rates.nbytes

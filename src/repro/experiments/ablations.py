@@ -1,0 +1,143 @@
+"""Ablation experiments for mT-Share's design choices.
+
+These go beyond the paper's own sweeps: they isolate individual design
+decisions DESIGN.md calls out — the searching-range policy (static
+``gamma`` versus the Eq. 2 adaptive radius), the probability-vs-detour
+steering strength the paper defers to future work, and the idle
+demand-seeking cruising of the non-peak mode — so a downstream user can
+see what each buys.
+"""
+
+from __future__ import annotations
+
+from .reporting import ExperimentResult
+from .runner import BenchScale, RunKey, bench_scale, run
+
+
+def ablation_adaptive_gamma(scale: BenchScale | None = None) -> ExperimentResult:
+    """mT-Share with Eq. 2's adaptive searching range versus the static one."""
+    scale = scale or bench_scale()
+    result = ExperimentResult(
+        title="Ablation: mT-Share searching-range policy (peak)",
+        x_label="metric",
+        x_values=["served", "response_ms", "candidates"],
+        y_label="policy",
+    )
+    for label, adaptive in (("adaptive (Eq. 2)", True), ("static gamma", False)):
+        metrics = run(
+            RunKey(
+                spec=scale.peak,
+                scheme="mt-share",
+                num_taxis=scale.default_taxis,
+                config_overrides=(("mtshare_adaptive_gamma", adaptive),),
+            )
+        )
+        result.add_series(
+            label,
+            [metrics.served, round(metrics.avg_response_ms, 3),
+             round(metrics.avg_candidates, 2)],
+        )
+    return result
+
+
+def ablation_steering(scale: BenchScale | None = None,
+                      strengths_m: tuple[float, ...] = (0.0, 120.0, 400.0)) -> ExperimentResult:
+    """The probability-vs-detour trade-off of probabilistic routing.
+
+    ``prob_steering_m = 0`` reduces fine-grained routing to shortest
+    paths (corridor choice still applies); larger values buy more
+    offline encounters at the cost of extra detour, the exact trade-off
+    the paper leaves to future work.
+    """
+    scale = scale or bench_scale()
+    result = ExperimentResult(
+        title="Ablation: probabilistic-routing steering strength (non-peak)",
+        x_label="steering_m",
+        x_values=list(strengths_m),
+        y_label="value",
+    )
+    offline = []
+    total = []
+    detour = []
+    for strength in strengths_m:
+        metrics = run(
+            RunKey(
+                spec=scale.nonpeak,
+                scheme="mt-share-pro",
+                num_taxis=scale.default_taxis,
+                config_overrides=(("prob_steering_m", float(strength)),),
+            )
+        )
+        offline.append(metrics.served_offline)
+        total.append(metrics.served)
+        detour.append(round(metrics.avg_detour_min, 2))
+    result.add_series("served offline", offline)
+    result.add_series("served total", total)
+    result.add_series("detour_min", detour)
+    return result
+
+
+def ablation_cruising(scale: BenchScale | None = None) -> ExperimentResult:
+    """Idle demand-seeking cruising on versus off (mT-Share_pro, non-peak)."""
+    scale = scale or bench_scale()
+    result = ExperimentResult(
+        title="Ablation: idle cruising (mT-Share_pro, non-peak)",
+        x_label="metric",
+        x_values=["served_online", "served_offline", "served", "waiting_min"],
+        y_label="policy",
+    )
+    for label, enabled in (("cruising on", True), ("cruising off", False)):
+        metrics = run(
+            RunKey(
+                spec=scale.nonpeak,
+                scheme="mt-share-pro",
+                num_taxis=scale.default_taxis,
+                config_overrides=(("enable_cruising", enabled),),
+            )
+        )
+        result.add_series(
+            label,
+            [metrics.served_online, metrics.served_offline, metrics.served,
+             round(metrics.avg_waiting_min, 2)],
+        )
+    return result
+
+
+def ablation_redispatch(scale: BenchScale | None = None) -> ExperimentResult:
+    """Offline-encounter redispatch on versus off.
+
+    The paper's offline pipeline lets the server dispatch *another* taxi
+    when the encountering one cannot carry the hailer; this isolates how
+    much of the offline service that second chance provides.
+    """
+    from ..core.payment import PaymentModel
+    from ..sim.engine import Simulator
+    from ..sim.scenario import get_scenario
+
+    scale = scale or bench_scale()
+    scenario = get_scenario(scale.nonpeak)
+    requests = scenario.requests()
+    result = ExperimentResult(
+        title="Ablation: offline-encounter redispatch (mT-Share_pro, non-peak)",
+        x_label="metric",
+        x_values=["served_offline", "served"],
+        y_label="policy",
+    )
+    for label, redispatch in (("redispatch on", True), ("redispatch off", False)):
+        metrics = Simulator(
+            scenario.make_scheme("mt-share-pro"),
+            scenario.make_fleet(scale.default_taxis),
+            requests,
+            payment=PaymentModel(),
+            redispatch_encounters=redispatch,
+        ).run()
+        result.add_series(label, [metrics.served_offline, metrics.served])
+    return result
+
+
+ALL_ABLATIONS = {
+    "adaptive_gamma": ablation_adaptive_gamma,
+    "steering": ablation_steering,
+    "cruising": ablation_cruising,
+    "redispatch": ablation_redispatch,
+}

@@ -1,0 +1,171 @@
+"""Post-hoc analysis of simulation runs.
+
+The paper reports aggregate metrics; downstream users usually want to
+look *inside* a run: how deeply were rides shared, how was the fleet
+utilised, how long did passengers of different trip lengths wait.  This
+module computes those statistics from a finished
+:class:`~repro.sim.engine.Simulator`'s log and fleet.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from ..fleet.taxi import FleetLog
+from ..sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class SharingProfile:
+    """How deeply rides were shared in one run.
+
+    ``solo_trips`` rode alone for their entire journey;
+    ``shared_trips`` overlapped with at least one co-rider.
+    ``avg_corider_time_s`` is the mean on-board time spent with at
+    least one co-rider, over all completed trips.
+    """
+
+    solo_trips: int
+    shared_trips: int
+    avg_corider_time_s: float
+
+    @property
+    def shared_fraction(self) -> float:
+        """Share of completed trips that overlapped with a co-rider."""
+        total = self.solo_trips + self.shared_trips
+        return self.shared_trips / total if total else 0.0
+
+
+def sharing_profile(log: FleetLog) -> SharingProfile:
+    """Compute the sharing profile from per-request service records."""
+    by_taxi: dict[int, list] = {}
+    for trip in log.completed():
+        by_taxi.setdefault(trip.taxi_id, []).append(trip)
+
+    solo = 0
+    shared = 0
+    corider_times = []
+    for trips in by_taxi.values():
+        for trip in trips:
+            overlap = 0.0
+            for other in trips:
+                if other is trip:
+                    continue
+                start = max(trip.pickup_time, other.pickup_time)
+                end = min(trip.dropoff_time, other.dropoff_time)
+                if end > start:
+                    overlap += end - start
+            overlap = min(overlap, trip.dropoff_time - trip.pickup_time)
+            corider_times.append(overlap)
+            if overlap > 0:
+                shared += 1
+            else:
+                solo += 1
+    avg = statistics.fmean(corider_times) if corider_times else 0.0
+    return SharingProfile(solo_trips=solo, shared_trips=shared, avg_corider_time_s=avg)
+
+
+@dataclass(frozen=True)
+class FleetProfile:
+    """How the fleet's time and capacity were used."""
+
+    num_taxis: int
+    taxis_used: int
+    trips_per_taxi_mean: float
+    trips_per_taxi_max: int
+    busy_fraction_mean: float
+
+    @property
+    def taxis_unused(self) -> int:
+        """Taxis that never carried a passenger."""
+        return self.num_taxis - self.taxis_used
+
+
+def fleet_profile(sim: Simulator, horizon_s: float = 3600.0) -> FleetProfile:
+    """Fleet usage statistics from a finished simulation.
+
+    ``horizon_s`` is the nominal service window used to express busy
+    time as a fraction.
+    """
+    trips_by_taxi: dict[int, list] = {}
+    for trip in sim.log.completed():
+        trips_by_taxi.setdefault(trip.taxi_id, []).append(trip)
+
+    counts = [len(v) for v in trips_by_taxi.values()]
+    busy_fractions = []
+    for trips in trips_by_taxi.values():
+        busy = sum(t.dropoff_time - t.pickup_time for t in trips)
+        busy_fractions.append(min(1.0, busy / horizon_s))
+
+    return FleetProfile(
+        num_taxis=len(sim.fleet),
+        taxis_used=len(trips_by_taxi),
+        trips_per_taxi_mean=statistics.fmean(counts) if counts else 0.0,
+        trips_per_taxi_max=max(counts, default=0),
+        busy_fraction_mean=statistics.fmean(busy_fractions) if busy_fractions else 0.0,
+    )
+
+
+@dataclass
+class WaitingByTripLength:
+    """Waiting time bucketed by direct trip duration."""
+
+    buckets_s: tuple[float, ...] = (300.0, 600.0, 900.0, float("inf"))
+    waits: dict[str, list[float]] = field(default_factory=dict)
+
+    def label(self, direct_cost: float) -> str:
+        lo = 0.0
+        for hi in self.buckets_s:
+            if direct_cost < hi:
+                hi_txt = "inf" if hi == float("inf") else f"{hi / 60:.0f}"
+                return f"{lo / 60:.0f}-{hi_txt} min"
+            lo = hi
+        raise AssertionError("unreachable")
+
+    def add(self, direct_cost: float, waiting_s: float) -> None:
+        self.waits.setdefault(self.label(direct_cost), []).append(waiting_s)
+
+    def means_min(self) -> dict[str, float]:
+        """Mean waiting minutes per trip-length bucket."""
+        return {
+            label: statistics.fmean(values) / 60.0
+            for label, values in sorted(self.waits.items())
+        }
+
+
+def waiting_by_trip_length(log: FleetLog) -> WaitingByTripLength:
+    """Bucket served requests' waiting times by their trip length."""
+    out = WaitingByTripLength()
+    for trip in log.completed():
+        out.add(trip.request.direct_cost, trip.waiting_time)
+    return out
+
+
+def run_report(sim: Simulator) -> str:
+    """A multi-line human-readable report for one finished run."""
+    metrics = sim.metrics
+    share = sharing_profile(sim.log)
+    fleet = fleet_profile(sim)
+    lines = [
+        f"=== {metrics.scheme_name} run report ===",
+        f"requests: {metrics.num_requests} "
+        f"({metrics.num_online} online, {metrics.num_offline} offline)",
+        f"served  : {metrics.served} ({metrics.service_rate:.1%}); "
+        f"completed {metrics.completed}",
+        f"latency : {metrics.avg_response_ms:.3f} ms response, "
+        f"{metrics.avg_waiting_min:.2f} min waiting, "
+        f"{metrics.avg_detour_min:.2f} min detour",
+        f"sharing : {share.shared_trips}/{share.shared_trips + share.solo_trips} "
+        f"trips shared ({share.shared_fraction:.1%}), "
+        f"{share.avg_corider_time_s / 60:.1f} min avg co-rider time",
+        f"fleet   : {fleet.taxis_used}/{fleet.num_taxis} taxis used, "
+        f"{fleet.trips_per_taxi_mean:.1f} trips/taxi (max {fleet.trips_per_taxi_max}), "
+        f"{fleet.busy_fraction_mean:.1%} busy",
+    ]
+    if metrics.regular_fares > 0:
+        lines.append(
+            f"money   : passengers save {metrics.fare_saving_pct:.1f}%, "
+            f"drivers gain {metrics.driver_gain_pct:.1f}%"
+        )
+    return "\n".join(lines)

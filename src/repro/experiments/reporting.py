@@ -1,0 +1,69 @@
+"""Tabular reporting for experiment results.
+
+Each figure/table function returns an :class:`ExperimentResult`: a
+named grid of series (one per scheme or setting) over an x-axis (fleet
+size, parameter value, ...).  ``print`` renders the same rows the
+paper's plots show, so a benchmark run reads like the evaluation
+section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """A named table: one row per series, one column per x value."""
+
+    title: str
+    x_label: str
+    x_values: list
+    y_label: str
+    series: dict[str, list] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_series(self, name: str, values: list) -> None:
+        """Attach one series; length must match the x axis."""
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(self.x_values)} x points"
+            )
+        self.series[name] = list(values)
+
+    def value(self, series: str, x) -> float:
+        """Single cell lookup by series name and x value."""
+        return self.series[series][self.x_values.index(x)]
+
+    def to_rows(self) -> list[list]:
+        """Header row plus one row per series."""
+        header = [f"{self.y_label} \\ {self.x_label}"] + [str(x) for x in self.x_values]
+        rows = [header]
+        for name, values in self.series.items():
+            rows.append([name] + [_fmt(v) for v in values])
+        return rows
+
+    def render(self) -> str:
+        """Fixed-width text table with title and notes."""
+        rows = self.to_rows()
+        widths = [max(len(str(r[i])) for r in rows) for i in range(len(rows[0]))]
+        lines = [self.title, "=" * len(self.title)]
+        for i, row in enumerate(rows):
+            lines.append("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        for note in self.notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table."""
+        print()
+        print(self.render())
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)

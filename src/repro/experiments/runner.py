@@ -1,0 +1,131 @@
+"""Experiment runner: cached simulation runs for the benchmark harness.
+
+Every figure/table of the paper's evaluation is regenerated from the
+same primitive — *run scheme S on scenario X with parameters P* — and
+several figures share identical runs (Figs. 6-9 and Table III all come
+from the peak fleet sweep).  The runner memoises completed runs by
+their full parameter key so each configuration is simulated once per
+process no matter how many benchmarks consume it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..core.payment import PaymentModel
+from ..sim.engine import Simulator
+from ..sim.metrics import SimulationMetrics
+from ..sim.scenario import ScenarioSpec, get_scenario, nonpeak_spec, peak_spec
+
+
+@dataclass(frozen=True, slots=True)
+class RunKey:
+    """Everything that determines a simulation run's outcome."""
+
+    spec: ScenarioSpec
+    scheme: str
+    num_taxis: int
+    capacity: int = 3
+    rho: float = 1.3
+    fleet_seed: int = 0
+    partition_method: str = "bipartite"
+    config_overrides: tuple = ()
+    offline_count: int | None = None
+    probabilistic: bool = False
+
+
+_CACHE: dict[RunKey, SimulationMetrics] = {}
+
+
+def clear_cache() -> None:
+    """Forget all memoised runs (tests use this for isolation)."""
+    _CACHE.clear()
+
+
+def run(key: RunKey) -> SimulationMetrics:
+    """Execute (or recall) one simulation run."""
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    scenario = get_scenario(key.spec)
+    overrides = dict(key.config_overrides)
+    overrides.setdefault("rho", key.rho)
+    overrides.setdefault("capacity", key.capacity)
+    config = scenario.default_config(**overrides)
+    scheme = scenario.make_scheme(
+        key.scheme,
+        config=config,
+        partition_method=key.partition_method,
+        probabilistic=key.probabilistic,
+    )
+    requests = scenario.requests(rho=key.rho, offline_count=key.offline_count)
+    fleet = scenario.make_fleet(key.num_taxis, capacity=key.capacity, seed=key.fleet_seed)
+    metrics = Simulator(
+        scheme,
+        fleet,
+        requests,
+        payment=PaymentModel(beta=config.beta, eta=config.eta),
+    ).run()
+    _CACHE[key] = metrics
+    return metrics
+
+
+def run_simple(
+    spec: ScenarioSpec,
+    scheme: str,
+    num_taxis: int,
+    **kwargs,
+) -> SimulationMetrics:
+    """Convenience wrapper building the :class:`RunKey` from kwargs."""
+    overrides = kwargs.pop("config_overrides", {})
+    if isinstance(overrides, dict):
+        overrides = tuple(sorted(overrides.items()))
+    return run(RunKey(spec=spec, scheme=scheme, num_taxis=num_taxis,
+                      config_overrides=overrides, **kwargs))
+
+
+# ----------------------------------------------------------------------
+# benchmark scale presets
+# ----------------------------------------------------------------------
+#: Environment variable selecting the benchmark scale.
+SCALE_ENV = "REPRO_BENCH_SCALE"
+
+
+@dataclass(frozen=True, slots=True)
+class BenchScale:
+    """Benchmark sizing: scenario specs and fleet sweeps."""
+
+    name: str
+    peak: ScenarioSpec
+    nonpeak: ScenarioSpec
+    taxi_counts: tuple[int, ...]
+    default_taxis: int
+
+
+def bench_scale() -> BenchScale:
+    """The active benchmark scale (``quick`` unless overridden).
+
+    ``REPRO_BENCH_SCALE=full`` runs the paper-shaped sweeps (six fleet
+    sizes, the full default scenario); ``quick`` (default) trims the
+    sweep so the whole benchmark suite finishes in a few minutes.
+    """
+    name = os.environ.get(SCALE_ENV, "quick").lower()
+    if name == "full":
+        return BenchScale(
+            name="full",
+            peak=peak_spec(),
+            nonpeak=nonpeak_spec(),
+            taxi_counts=(50, 100, 150, 200, 250, 300),
+            default_taxis=200,
+        )
+    if name == "quick":
+        return BenchScale(
+            name="quick",
+            peak=peak_spec(),
+            nonpeak=nonpeak_spec(),
+            taxi_counts=(80, 160),
+            default_taxis=160,
+        )
+    raise ValueError(f"unknown {SCALE_ENV} value {name!r}; use 'quick' or 'full'")

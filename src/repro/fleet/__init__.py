@@ -1,0 +1,40 @@
+"""Fleet substrate: taxi state, schedules, insertion machinery, route execution."""
+
+from .insertion_dp import best_insertion_dp
+from .schedule import (
+    Stop,
+    StopKind,
+    arrival_times,
+    capacity_ok,
+    deadlines_met,
+    dropoff,
+    enumerate_insertions,
+    is_feasible,
+    pickup,
+    request_stop_pair,
+    schedule_cost,
+    validate_stop_order,
+)
+from .taxi import FleetLog, PathFn, Taxi, TaxiError, TaxiRoute, build_route
+
+__all__ = [
+    "FleetLog",
+    "best_insertion_dp",
+    "PathFn",
+    "Stop",
+    "StopKind",
+    "Taxi",
+    "TaxiError",
+    "TaxiRoute",
+    "arrival_times",
+    "build_route",
+    "capacity_ok",
+    "deadlines_met",
+    "dropoff",
+    "enumerate_insertions",
+    "is_feasible",
+    "pickup",
+    "request_stop_pair",
+    "schedule_cost",
+    "validate_stop_order",
+]

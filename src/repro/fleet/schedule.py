@@ -1,0 +1,219 @@
+"""Taxi schedules (Definition 4) and insertion feasibility machinery.
+
+A taxi schedule is a sequence of *stops* — pick-up or drop-off events at
+road vertices, each with a deadline inherited from its request.  All
+ridesharing schemes in the paper share the same scheduling primitive:
+insert the new request's pick-up and drop-off into the existing stop
+sequence *without reordering it* (Section IV-C2), then test the
+resulting schedule against every passenger's deadline and the taxi's
+capacity.  This module implements stops, insertion enumeration, and the
+feasibility checks; routing (how inter-stop costs are obtained) is
+supplied by the caller as a cost function, so the same machinery serves
+basic routing, probabilistic routing and the grid-based baselines.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import dataclass
+
+from ..demand.request import RideRequest
+
+
+class StopKind(enum.Enum):
+    """Whether a stop picks up or drops off its request's passengers."""
+
+    PICKUP = "pickup"
+    DROPOFF = "dropoff"
+
+
+@dataclass(frozen=True, slots=True)
+class Stop:
+    """One schedule event: pick up or drop off a request at a vertex."""
+
+    kind: StopKind
+    request: RideRequest
+
+    @property
+    def node(self) -> int:
+        """The road vertex where this stop happens."""
+        if self.kind is StopKind.PICKUP:
+            return self.request.origin
+        return self.request.destination
+
+    @property
+    def deadline(self) -> float:
+        """Latest admissible service time for this stop."""
+        if self.kind is StopKind.PICKUP:
+            return self.request.pickup_deadline
+        return self.request.deadline
+
+    @property
+    def passenger_delta(self) -> int:
+        """Occupancy change when this stop executes."""
+        if self.kind is StopKind.PICKUP:
+            return self.request.num_passengers
+        return -self.request.num_passengers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stop({self.kind.value}, r{self.request.request_id}@{self.node})"
+
+
+def pickup(request: RideRequest) -> Stop:
+    """Convenience constructor for a pick-up stop."""
+    return Stop(StopKind.PICKUP, request)
+
+
+def dropoff(request: RideRequest) -> Stop:
+    """Convenience constructor for a drop-off stop."""
+    return Stop(StopKind.DROPOFF, request)
+
+
+def request_stop_pair(request: RideRequest) -> tuple[Stop, Stop]:
+    """The (pick-up, drop-off) stop pair of a request."""
+    return pickup(request), dropoff(request)
+
+
+CostFn = Callable[[int, int], float]
+
+
+def enumerate_insertions(
+    stops: Sequence[Stop],
+    request: RideRequest,
+) -> Iterator[tuple[int, int, list[Stop]]]:
+    """All schedule instances inserting ``request`` into ``stops``.
+
+    Yields ``(i, j, new_stops)`` where the pick-up is inserted at index
+    ``i`` and the drop-off ends up at index ``j > i`` of the new list.
+    The relative order of the existing stops is preserved, exactly as
+    the paper (and T-Share, pGreedyDP) prescribe, giving
+    ``(m + 1)(m + 2) / 2`` instances for an ``m``-stop schedule.
+    """
+    pu, do = request_stop_pair(request)
+    m = len(stops)
+    for i in range(m + 1):
+        for j in range(i, m + 1):
+            new_stops = list(stops[:i])
+            new_stops.append(pu)
+            new_stops.extend(stops[i:j])
+            new_stops.append(do)
+            new_stops.extend(stops[j:])
+            yield i, j + 1, new_stops
+
+
+def arrival_times(
+    start_node: int,
+    start_time: float,
+    stops: Sequence[Stop],
+    cost_fn: CostFn,
+) -> list[float]:
+    """Service time of each stop when travelling via ``cost_fn``.
+
+    ``cost_fn(u, v)`` must return the travel time in seconds between two
+    vertices (typically the shortest-path cost; probabilistic routing
+    substitutes its own).  Unreachable legs yield ``inf`` arrivals.
+    """
+    times: list[float] = []
+    node = start_node
+    t = start_time
+    for stop in stops:
+        t = t + cost_fn(node, stop.node)
+        node = stop.node
+        times.append(t)
+    return times
+
+
+def deadlines_met(
+    stops: Sequence[Stop],
+    times: Sequence[float],
+    slack_s: float = 1e-9,
+) -> bool:
+    """Whether every stop is served no later than its deadline."""
+    return all(t <= stop.deadline + slack_s for stop, t in zip(stops, times))
+
+
+def capacity_ok(
+    stops: Sequence[Stop],
+    initial_onboard: int,
+    capacity: int,
+) -> bool:
+    """Whether occupancy stays within ``capacity`` along the schedule.
+
+    ``initial_onboard`` is the number of passengers already in the taxi
+    when the schedule starts (their drop-offs appear in ``stops``).
+    """
+    onboard = initial_onboard
+    for stop in stops:
+        onboard += stop.passenger_delta
+        if onboard > capacity:
+            return False
+        if onboard < 0:
+            raise ValueError("schedule drops off passengers that were never aboard")
+    return True
+
+
+def schedule_cost(
+    start_node: int,
+    start_time: float,
+    stops: Sequence[Stop],
+    cost_fn: CostFn,
+) -> float:
+    """Total travel time (seconds) to execute ``stops`` from the start."""
+    times = arrival_times(start_node, start_time, stops, cost_fn)
+    return (times[-1] - start_time) if times else 0.0
+
+
+def is_feasible(
+    start_node: int,
+    start_time: float,
+    stops: Sequence[Stop],
+    cost_fn: CostFn,
+    initial_onboard: int,
+    capacity: int,
+) -> bool:
+    """Combined deadline + capacity feasibility of a schedule instance."""
+    if not capacity_ok(stops, initial_onboard, capacity):
+        return False
+    times = arrival_times(start_node, start_time, stops, cost_fn)
+    return deadlines_met(stops, times)
+
+
+def validate_stop_order(stops: Sequence[Stop]) -> None:
+    """Assert structural sanity: each drop-off follows its pick-up and no
+    request appears twice in the same role.
+
+    Pick-ups without a drop-off (or vice versa, for onboard passengers)
+    are allowed; pairing is only checked when both stops are present.
+    """
+    picked: set[int] = set()
+    dropped: set[int] = set()
+    for stop in stops:
+        rid = stop.request.request_id
+        if stop.kind is StopKind.PICKUP:
+            if rid in picked:
+                raise ValueError(f"request {rid} has two pick-ups")
+            picked.add(rid)
+        else:
+            if rid in dropped:
+                raise ValueError(f"request {rid} has two drop-offs")
+            if rid in picked or rid not in picked and rid not in dropped:
+                # A drop-off with no preceding pick-up is legal only for
+                # passengers already onboard; the caller knows which
+                # those are, so only the double-event cases are errors.
+                pass
+            dropped.add(rid)
+    for stop in stops:
+        rid = stop.request.request_id
+        if stop.kind is StopKind.DROPOFF and rid in picked:
+            # ensure order: pick-up index < drop-off index
+            pu_idx = next(
+                i for i, s in enumerate(stops)
+                if s.kind is StopKind.PICKUP and s.request.request_id == rid
+            )
+            do_idx = next(
+                i for i, s in enumerate(stops)
+                if s.kind is StopKind.DROPOFF and s.request.request_id == rid
+            )
+            if do_idx < pu_idx:
+                raise ValueError(f"request {rid} is dropped off before pick-up")

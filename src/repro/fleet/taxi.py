@@ -1,0 +1,331 @@
+"""Taxi state and route execution (Definitions 3–5 of the paper).
+
+A taxi's status is its current location, its schedule (a stop sequence)
+and its route (the concrete vertex path realising the schedule, with an
+arrival time per vertex).  The simulator drives taxis forward in time
+by consuming their routes vertex by vertex; stops fire when their
+vertex position on the route is reached, moving passengers on and off.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from ..demand.request import RideRequest, ServedTrip
+from .schedule import Stop, StopKind
+
+PathFn = Callable[[int, int], list[int]]
+
+
+class TaxiError(RuntimeError):
+    """Raised on inconsistent taxi-state transitions."""
+
+
+@dataclass
+class TaxiRoute:
+    """A planned route: vertices, per-vertex arrival times, stop markers.
+
+    Attributes
+    ----------
+    nodes:
+        Vertex sequence starting at the planning position.
+    times:
+        Arrival time (seconds) at each vertex; ``times[0]`` is the
+        departure time at ``nodes[0]``.
+    stop_positions:
+        For each stop of the schedule (in order), the index into
+        ``nodes`` where it is served.  Non-decreasing.
+    """
+
+    nodes: list[int] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)
+    stop_positions: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.times):
+            raise TaxiError("route nodes and times must have equal length")
+        if any(b < a for a, b in zip(self.times, self.times[1:])):
+            raise TaxiError("route times must be non-decreasing")
+        if any(b < a for a, b in zip(self.stop_positions, self.stop_positions[1:])):
+            raise TaxiError("stop positions must be non-decreasing")
+        if self.stop_positions and self.stop_positions[-1] >= len(self.nodes):
+            raise TaxiError("stop position beyond route end")
+
+    @property
+    def empty(self) -> bool:
+        """Whether there is nothing left to drive."""
+        return not self.nodes
+
+    @property
+    def end_time(self) -> float:
+        """Arrival time at the final vertex."""
+        if self.empty:
+            raise TaxiError("empty route has no end time")
+        return self.times[-1]
+
+    def total_cost(self) -> float:
+        """Travel time from departure to the last vertex."""
+        if self.empty:
+            return 0.0
+        return self.times[-1] - self.times[0]
+
+
+def build_route(
+    start_node: int,
+    start_time: float,
+    stops: Sequence[Stop],
+    path_fn: PathFn,
+    cost_of_path: Callable[[Sequence[int]], float],
+) -> TaxiRoute:
+    """Concatenate per-leg paths into a full route (the paper's ``|><|``).
+
+    Parameters
+    ----------
+    path_fn:
+        Returns the vertex path between two vertices (both inclusive);
+        basic routing passes shortest paths, probabilistic routing its
+        probability-weighted paths.
+    cost_of_path:
+        Travel time of a vertex path in seconds (normally
+        ``network.path_cost_s``).
+    """
+    nodes = [start_node]
+    times = [start_time]
+    stop_positions: list[int] = []
+    for stop in stops:
+        leg = path_fn(nodes[-1], stop.node)
+        if not leg or leg[0] != nodes[-1] or leg[-1] != stop.node:
+            raise TaxiError(
+                f"path_fn returned an invalid leg {leg!r} for "
+                f"({nodes[-1]} -> {stop.node})"
+            )
+        t = times[-1]
+        for u, v in zip(leg, leg[1:]):
+            t += cost_of_path([u, v])
+            nodes.append(v)
+            times.append(t)
+        stop_positions.append(len(nodes) - 1)
+    return TaxiRoute(nodes=nodes, times=times, stop_positions=stop_positions)
+
+
+@dataclass
+class Taxi:
+    """Mutable taxi state driven by the simulator.
+
+    Attributes
+    ----------
+    taxi_id:
+        Fleet-unique id.
+    capacity:
+        Maximum simultaneous passengers.
+    loc:
+        Last vertex reached (the taxi is at/just past this vertex).
+    loc_time:
+        The time the taxi was at ``loc``.
+    schedule:
+        Pending stops, in service order.
+    route:
+        Concrete route realising ``schedule`` (may be empty when idle).
+    onboard:
+        Requests whose passengers are currently in the car.
+    assigned:
+        Requests matched to this taxi but not yet picked up.
+    """
+
+    taxi_id: int
+    capacity: int
+    loc: int
+    loc_time: float = 0.0
+    schedule: list[Stop] = field(default_factory=list)
+    route: TaxiRoute = field(default_factory=TaxiRoute)
+    onboard: dict[int, RideRequest] = field(default_factory=dict)
+    assigned: dict[int, RideRequest] = field(default_factory=dict)
+    probabilistic_mode: bool = False
+    _route_cursor: int = 0
+    _stops_fired: int = 0
+    _onboard_pax: int = 0
+    _assigned_pax: int = 0
+
+    # ------------------------------------------------------------------
+    # derived state
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """True when the taxi has no pending stops."""
+        return not self.schedule
+
+    @property
+    def occupancy(self) -> int:
+        """Passengers currently in the car (O(1), kept incrementally)."""
+        return self._onboard_pax
+
+    @property
+    def committed(self) -> int:
+        """Passengers onboard plus assigned-but-waiting (O(1))."""
+        return self._onboard_pax + self._assigned_pax
+
+    @property
+    def idle_seats(self) -> int:
+        """Free seats right now (onboard passengers only)."""
+        return self.capacity - self.occupancy
+
+    def has_spare_commitment(self) -> bool:
+        """Whether accepting one more single passenger could ever fit.
+
+        A cheap necessary condition used to prune candidates: if even
+        the peak commitment exceeds capacity the insertion enumeration
+        cannot succeed.  (The exact check runs per schedule instance.)
+        """
+        return self.committed < self.capacity
+
+    def position_at(self, now: float) -> tuple[int, float]:
+        """Planning position: the next vertex and when it is reached.
+
+        A taxi mid-edge cannot be re-routed until the next vertex, so
+        replanning always starts from ``(next_vertex, arrival_time)``;
+        an idle or at-vertex taxi plans from ``(loc, now)``.  Callers
+        should :meth:`advance` the taxi to ``now`` first.
+        """
+        route = self.route
+        if self._route_cursor < len(route.nodes):
+            i = self._route_cursor
+            return route.nodes[i], max(now, route.times[i])
+        return self.loc, max(now, self.loc_time)
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def set_plan(self, stops: list[Stop], route: TaxiRoute) -> None:
+        """Install a new schedule and route (after a successful match).
+
+        The route must start from the taxi's planning position and must
+        serve exactly ``stops`` via its ``stop_positions``.
+        """
+        if len(route.stop_positions) != len(stops):
+            raise TaxiError("route stop markers do not match the schedule")
+        self.schedule = list(stops)
+        self.route = route
+        self._route_cursor = 0
+        self._stops_fired = 0
+
+    def assign(self, request: RideRequest) -> None:
+        """Record a new not-yet-picked-up request."""
+        if request.request_id in self.assigned or request.request_id in self.onboard:
+            raise TaxiError(f"request {request.request_id} already on taxi {self.taxi_id}")
+        self.assigned[request.request_id] = request
+        self._assigned_pax += request.num_passengers
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def advance(
+        self,
+        now: float,
+        on_pickup: Callable[["Taxi", RideRequest, float], None] | None = None,
+        on_dropoff: Callable[["Taxi", RideRequest, float], None] | None = None,
+    ) -> list[tuple[int, float]]:
+        """Drive the taxi forward to time ``now``.
+
+        Consumes route vertices whose arrival time has passed, firing
+        pick-up/drop-off stops in order.  Returns the list of
+        ``(vertex, arrival_time)`` pairs traversed, which the simulator
+        scans for offline-request encounters.
+        """
+        traversed: list[tuple[int, float]] = []
+        route = self.route
+        while self._route_cursor < len(route.nodes) and route.times[self._route_cursor] <= now:
+            i = self._route_cursor
+            node = route.nodes[i]
+            t = route.times[i]
+            traversed.append((node, t))
+            self.loc = node
+            self.loc_time = t
+            # Fire every stop scheduled at this route position.
+            while (
+                self._stops_fired < len(route.stop_positions)
+                and route.stop_positions[self._stops_fired] == i
+            ):
+                stop = self.schedule[self._stops_fired]
+                self._fire_stop(stop, t, on_pickup, on_dropoff)
+                self._stops_fired += 1
+            self._route_cursor += 1
+
+        if self._stops_fired and self._stops_fired == len(self.schedule):
+            remaining = self._route_cursor >= len(route.nodes)
+            if remaining:
+                self.schedule = []
+                self.route = TaxiRoute()
+                self._route_cursor = 0
+                self._stops_fired = 0
+        return traversed
+
+    def _fire_stop(self, stop: Stop, t: float, on_pickup, on_dropoff) -> None:
+        rid = stop.request.request_id
+        if stop.kind is StopKind.PICKUP:
+            request = self.assigned.pop(rid, None)
+            if request is None:
+                raise TaxiError(f"pick-up fired for unassigned request {rid}")
+            self.onboard[rid] = request
+            self._assigned_pax -= request.num_passengers
+            self._onboard_pax += request.num_passengers
+            if self.occupancy > self.capacity:
+                raise TaxiError(f"taxi {self.taxi_id} over capacity after pick-up {rid}")
+            if on_pickup is not None:
+                on_pickup(self, request, t)
+        else:
+            request = self.onboard.pop(rid, None)
+            if request is None:
+                raise TaxiError(f"drop-off fired for request {rid} not onboard")
+            self._onboard_pax -= request.num_passengers
+            if on_dropoff is not None:
+                on_dropoff(self, request, t)
+
+    def pending_stops(self) -> list[Stop]:
+        """Stops not yet executed, in order."""
+        return self.schedule[self._stops_fired:]
+
+    def remaining_route_cost(self, from_time: float) -> float:
+        """Travel time still ahead on the current route, measured from
+        ``from_time`` (the planning time).  This is the ``cost(R_tj)``
+        term in the detour-cost definition (Eq. 4).  A passenger-less
+        cruise route counts as zero: abandoning it costs nothing."""
+        if not self.schedule:
+            return 0.0
+        route = self.route
+        if self._route_cursor >= len(route.nodes):
+            return 0.0
+        return max(0.0, route.end_time - from_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Taxi(id={self.taxi_id}, loc={self.loc}, onboard={len(self.onboard)}, "
+            f"assigned={len(self.assigned)}, stops={len(self.pending_stops())})"
+        )
+
+
+@dataclass
+class FleetLog:
+    """Per-request service records accumulated during a simulation."""
+
+    trips: dict[int, ServedTrip] = field(default_factory=dict)
+
+    def record_assignment(self, request: RideRequest, taxi_id: int, assign_time: float) -> None:
+        """Register a matched request (before pick-up)."""
+        self.trips[request.request_id] = ServedTrip(
+            request=request, taxi_id=taxi_id, assign_time=assign_time
+        )
+
+    def record_pickup(self, request: RideRequest, t: float) -> None:
+        """Register the pick-up time of a matched request."""
+        self.trips[request.request_id].pickup_time = t
+
+    def record_dropoff(self, request: RideRequest, t: float) -> None:
+        """Register the drop-off; fixes the shared travel cost."""
+        trip = self.trips[request.request_id]
+        trip.dropoff_time = t
+        trip.shared_travel_cost = t - trip.pickup_time
+
+    def completed(self) -> list[ServedTrip]:
+        """Trips whose passengers reached their destination."""
+        return [t for t in self.trips.values() if t.completed]

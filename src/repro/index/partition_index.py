@@ -1,0 +1,137 @@
+"""Map-partition-based taxi index (Section IV-B3 of the paper).
+
+For every map partition ``P_z`` the index keeps a taxi list ``P_z.L_t``
+of the taxis that are currently in, or whose planned route will reach,
+partition ``P_z`` within a horizon ``T_mp`` (the paper uses one hour),
+annotated with the arrival time and kept sorted ascending by it.  The
+list answers two questions during candidate searching: *which taxis can
+be near this request's origin*, and *can taxi t reach the request's
+partition before its pick-up deadline* (refinement rule 3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+DEFAULT_HORIZON_S = 3600.0
+
+
+class PartitionTaxiIndex:
+    """Per-partition taxi lists with arrival times.
+
+    Parameters
+    ----------
+    num_partitions:
+        Number of map partitions ``kappa``.
+    horizon_s:
+        ``T_mp``: route positions further than this in the future are
+        not indexed.
+    """
+
+    def __init__(self, num_partitions: int, horizon_s: float = DEFAULT_HORIZON_S) -> None:
+        if num_partitions < 1:
+            raise ValueError("need at least one partition")
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        self._horizon = float(horizon_s)
+        self._by_partition: list[dict[int, float]] = [{} for _ in range(num_partitions)]
+        self._partitions_of_taxi: dict[int, set[int]] = {}
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions indexed."""
+        return len(self._by_partition)
+
+    @property
+    def horizon_s(self) -> float:
+        """The indexing horizon ``T_mp`` in seconds."""
+        return self._horizon
+
+    def update_taxi(
+        self,
+        taxi_id: int,
+        partition_arrivals: dict[int, float],
+    ) -> None:
+        """Replace the indexed partitions of ``taxi_id``.
+
+        ``partition_arrivals`` maps partition id to the earliest arrival
+        time along the taxi's (re)planned route; entries are taken as
+        given (the caller applies the horizon against *now*).
+        """
+        self.remove_taxi(taxi_id)
+        touched: set[int] = set()
+        for z, t in partition_arrivals.items():
+            self._by_partition[z][taxi_id] = float(t)
+            touched.add(z)
+        if touched:
+            self._partitions_of_taxi[taxi_id] = touched
+
+    def update_taxi_from_route(
+        self,
+        taxi_id: int,
+        route_nodes: Sequence[int],
+        route_times: Sequence[float],
+        partition_of,
+        now: float,
+    ) -> None:
+        """Index a taxi from its concrete route.
+
+        ``partition_of`` maps a vertex to its partition id.  The first
+        arrival per partition within ``now + T_mp`` is recorded.
+        """
+        arrivals: dict[int, float] = {}
+        limit = now + self._horizon
+        for node, t in zip(route_nodes, route_times):
+            if t > limit:
+                break
+            z = partition_of(node)
+            if z not in arrivals or t < arrivals[z]:
+                arrivals[z] = max(t, now)
+        self.update_taxi(taxi_id, arrivals)
+
+    def place_idle_taxi(self, taxi_id: int, partition: int, now: float) -> None:
+        """Index an idle (parked) taxi at its current partition."""
+        self.update_taxi(taxi_id, {partition: now})
+
+    def remove_taxi(self, taxi_id: int) -> None:
+        """Drop all index entries of ``taxi_id``."""
+        for z in self._partitions_of_taxi.pop(taxi_id, ()):
+            self._by_partition[z].pop(taxi_id, None)
+
+    def taxis_in(self, partition: int) -> list[tuple[int, float]]:
+        """``P_z.L_t``: ``(taxi_id, arrival_time)`` sorted by arrival."""
+        entries = self._by_partition[partition]
+        return sorted(entries.items(), key=lambda kv: (kv[1], kv[0]))
+
+    def taxi_ids_in(self, partition: int) -> set[int]:
+        """Just the taxi ids of ``P_z.L_t``."""
+        return set(self._by_partition[partition])
+
+    def arrival_time(self, partition: int, taxi_id: int) -> float | None:
+        """Indexed arrival of ``taxi_id`` at ``partition``, if any."""
+        return self._by_partition[partition].get(taxi_id)
+
+    def partitions_of(self, taxi_id: int) -> set[int]:
+        """Partitions currently indexing ``taxi_id``."""
+        return set(self._partitions_of_taxi.get(taxi_id, ()))
+
+    def union_taxis(self, partitions) -> set[int]:
+        """Union of the taxi lists of several partitions (Eq. 3 left side)."""
+        out: set[int] = set()
+        for z in partitions:
+            out.update(self._by_partition[z])
+        return out
+
+    def total_entries(self) -> int:
+        """Total (taxi, partition) index entries — the ``(x+1)M`` term of
+        the paper's memory-complexity analysis."""
+        return sum(len(d) for d in self._by_partition)
+
+    def memory_bytes(self) -> int:
+        """Rough footprint of the index structures."""
+        total = 0
+        for d in self._by_partition:
+            total += 64 + 56 * len(d)
+        for s in self._partitions_of_taxi.values():
+            total += 64 + 28 * len(s)
+        return total

@@ -1,0 +1,129 @@
+"""Uniform-grid spatial index over moving objects (taxis).
+
+T-Share, pGreedyDP and the No-Sharing baseline all index taxis by the
+grid cell of their current location and answer "taxis within range
+``gamma`` of a point" queries.  The index stores planar positions and
+filters candidates by exact Euclidean distance after the coarse cell
+scan, so results are exact.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+
+class GridSpatialIndex:
+    """Point index with O(1) updates and grid-pruned radius queries.
+
+    Parameters
+    ----------
+    cell_size_m:
+        Grid cell edge length.  Radius queries scan the
+        ``ceil(r / cell)`` ring of cells around the query point.
+    """
+
+    def __init__(self, cell_size_m: float = 500.0) -> None:
+        if cell_size_m <= 0:
+            raise ValueError("cell size must be positive")
+        self._cell = float(cell_size_m)
+        self._cells: dict[tuple[int, int], set[int]] = {}
+        self._positions: dict[int, tuple[float, float]] = {}
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        return (math.floor(x / self._cell), math.floor(y / self._cell))
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, obj_id: int) -> bool:
+        return obj_id in self._positions
+
+    def insert(self, obj_id: int, x: float, y: float) -> None:
+        """Insert or move an object to ``(x, y)``."""
+        if obj_id in self._positions:
+            self.remove(obj_id)
+        key = self._cell_of(x, y)
+        self._cells.setdefault(key, set()).add(obj_id)
+        self._positions[obj_id] = (x, y)
+
+    update = insert
+
+    def remove(self, obj_id: int) -> None:
+        """Remove an object; missing ids are ignored."""
+        pos = self._positions.pop(obj_id, None)
+        if pos is None:
+            return
+        key = self._cell_of(*pos)
+        bucket = self._cells.get(key)
+        if bucket is not None:
+            bucket.discard(obj_id)
+            if not bucket:
+                del self._cells[key]
+
+    def position(self, obj_id: int) -> tuple[float, float]:
+        """Stored position of ``obj_id``."""
+        return self._positions[obj_id]
+
+    def query_radius(self, x: float, y: float, radius_m: float) -> list[tuple[int, float]]:
+        """Objects within ``radius_m`` of ``(x, y)`` with exact distances.
+
+        Returns ``(obj_id, distance)`` pairs sorted by distance.
+        """
+        if radius_m < 0:
+            return []
+        span = math.ceil(radius_m / self._cell)
+        cx, cy = self._cell_of(x, y)
+        hits: list[tuple[int, float]] = []
+        for gx in range(cx - span, cx + span + 1):
+            for gy in range(cy - span, cy + span + 1):
+                bucket = self._cells.get((gx, gy))
+                if not bucket:
+                    continue
+                for obj_id in bucket:
+                    px, py = self._positions[obj_id]
+                    # hypot, not squared distances: squares of denormal
+                    # offsets underflow to zero and misclassify points.
+                    d = math.hypot(px - x, py - y)
+                    if d <= radius_m:
+                        hits.append((obj_id, d))
+        hits.sort(key=lambda h: (h[1], h[0]))
+        return hits
+
+    def query_radius_cells(self, x: float, y: float, radius_m: float) -> list[tuple[int, float]]:
+        """Objects in cells whose *centre* lies within ``radius_m``.
+
+        This is how the grid-based indexes of T-Share and pGreedyDP
+        answer range queries: the searched area is a set of whole grid
+        cells, so objects near the far edge of an excluded cell are
+        missed even when their exact distance is within range (the
+        "partial trip information" limitation the mT-Share paper's
+        Fig. 1 illustrates with taxi t3).  Distances returned are to
+        the cell centre, which is all the grid knows.
+        """
+        if radius_m < 0:
+            return []
+        span = math.ceil(radius_m / self._cell) + 1
+        cx, cy = self._cell_of(x, y)
+        hits: list[tuple[int, float]] = []
+        for gx in range(cx - span, cx + span + 1):
+            for gy in range(cy - span, cy + span + 1):
+                bucket = self._cells.get((gx, gy))
+                if not bucket:
+                    continue
+                center_x = (gx + 0.5) * self._cell
+                center_y = (gy + 0.5) * self._cell
+                d = math.hypot(center_x - x, center_y - y)
+                if d <= radius_m:
+                    hits.extend((obj_id, d) for obj_id in bucket)
+        hits.sort(key=lambda h: (h[1], h[0]))
+        return hits
+
+    def bulk_load(self, items: Iterable[tuple[int, float, float]]) -> None:
+        """Insert many ``(obj_id, x, y)`` triples."""
+        for obj_id, x, y in items:
+            self.insert(obj_id, x, y)
+
+    def memory_bytes(self) -> int:
+        """Rough footprint: cells plus position table."""
+        return 96 * len(self._cells) + 72 * len(self._positions)

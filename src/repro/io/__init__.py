@@ -1,0 +1,19 @@
+"""Trace I/O: GAIA-format CSV reading/writing and map matching."""
+
+from .gaia import (
+    DEFAULT_SNAP_RADIUS_M,
+    GAIA_COLUMNS,
+    MapMatcher,
+    TraceFormatError,
+    read_gaia_csv,
+    write_gaia_csv,
+)
+
+__all__ = [
+    "DEFAULT_SNAP_RADIUS_M",
+    "GAIA_COLUMNS",
+    "MapMatcher",
+    "TraceFormatError",
+    "read_gaia_csv",
+    "write_gaia_csv",
+]

@@ -1,0 +1,226 @@
+"""Directed road-network graph (Definition 1 of the paper).
+
+A :class:`RoadNetwork` is a directed graph ``G(V, E)`` whose vertices are
+geolocations (road intersections) and whose edges are road segments with
+a travel cost.  The paper treats travel time and travel distance as
+interchangeable under a constant taxi speed; we store edge *lengths* in
+metres and expose costs in *seconds* for a configurable speed, which is
+what deadlines and schedules are expressed in.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from .geo import Point
+
+#: Constant taxi travel speed assumed throughout the paper's evaluation
+#: (Section V-A4): 15 km/h, expressed in metres per second.
+DEFAULT_SPEED_MPS = 15_000.0 / 3600.0
+
+
+class RoadNetworkError(ValueError):
+    """Raised when a road network is constructed or queried incorrectly."""
+
+
+class RoadNetwork:
+    """Immutable directed road network with planar vertex coordinates.
+
+    Parameters
+    ----------
+    xy:
+        ``(n, 2)`` array of vertex coordinates in metres.
+    edges:
+        Iterable of ``(u, v)`` or ``(u, v, length_m)`` tuples.  When the
+        length is omitted it defaults to the Euclidean distance between
+        the endpoints.
+    speed_mps:
+        Constant travel speed used to convert lengths to travel times.
+
+    The vertex set is ``range(n)``.  Parallel edges are collapsed to the
+    cheapest one; self loops are rejected.
+    """
+
+    def __init__(
+        self,
+        xy: np.ndarray | Sequence[tuple[float, float]],
+        edges: Iterable[tuple],
+        speed_mps: float = DEFAULT_SPEED_MPS,
+    ) -> None:
+        xy = np.asarray(xy, dtype=np.float64)
+        if xy.ndim != 2 or xy.shape[1] != 2:
+            raise RoadNetworkError("xy must be an (n, 2) array of coordinates")
+        if xy.shape[0] == 0:
+            raise RoadNetworkError("a road network needs at least one vertex")
+        if speed_mps <= 0:
+            raise RoadNetworkError("speed must be positive")
+        self._xy = xy
+        self._speed = float(speed_mps)
+        n = xy.shape[0]
+
+        length_of: dict[tuple[int, int], float] = {}
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge
+                length = None
+            elif len(edge) == 3:
+                u, v, length = edge
+                length = float(length)
+            else:
+                raise RoadNetworkError(f"edge {edge!r} must be (u, v) or (u, v, length)")
+            u = int(u)
+            v = int(v)
+            if not (0 <= u < n and 0 <= v < n):
+                raise RoadNetworkError(f"edge ({u}, {v}) references an unknown vertex")
+            if length is None:
+                length = float(np.hypot(*(xy[u] - xy[v])))
+            if u == v:
+                raise RoadNetworkError(f"self loop on vertex {u} is not allowed")
+            if length < 0:
+                raise RoadNetworkError(f"edge ({u}, {v}) has negative length {length}")
+            key = (u, v)
+            if key not in length_of or length < length_of[key]:
+                length_of[key] = length
+
+        self._adj: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        self._radj: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        for (u, v), length in sorted(length_of.items()):
+            self._adj[u].append((v, length))
+            self._radj[v].append((u, length))
+        self._num_edges = len(length_of)
+        self._length_of = length_of
+        self._csr: sparse.csr_matrix | None = None
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``N = |V|``."""
+        return self._xy.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``|E|``."""
+        return self._num_edges
+
+    @property
+    def speed_mps(self) -> float:
+        """Constant travel speed in metres per second."""
+        return self._speed
+
+    @property
+    def xy(self) -> np.ndarray:
+        """Read-only view of the ``(n, 2)`` vertex coordinate array."""
+        view = self._xy.view()
+        view.flags.writeable = False
+        return view
+
+    def vertices(self) -> range:
+        """All vertex ids."""
+        return range(self.num_vertices)
+
+    def point(self, v: int) -> Point:
+        """Coordinates of vertex ``v`` as a :class:`Point`."""
+        x, y = self._xy[v]
+        return Point(float(x), float(y))
+
+    def neighbors(self, v: int) -> list[tuple[int, float]]:
+        """Outgoing ``(neighbor, length_m)`` pairs of vertex ``v``."""
+        return list(self._adj[v])
+
+    def in_neighbors(self, v: int) -> list[tuple[int, float]]:
+        """Incoming ``(neighbor, length_m)`` pairs of vertex ``v``."""
+        return list(self._radj[v])
+
+    def out_degree(self, v: int) -> int:
+        """Number of outgoing edges of ``v``."""
+        return len(self._adj[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the directed edge ``(u, v)`` exists."""
+        return (u, v) in self._length_of
+
+    def edge_length(self, u: int, v: int) -> float:
+        """Length in metres of edge ``(u, v)``; raises if absent."""
+        try:
+            return self._length_of[(u, v)]
+        except KeyError:
+            raise RoadNetworkError(f"no edge ({u}, {v})") from None
+
+    def edge_cost(self, u: int, v: int) -> float:
+        """Travel cost (seconds) of edge ``(u, v)`` at the network speed."""
+        return self.edge_length(u, v) / self._speed
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate all edges as ``(u, v, length_m)``."""
+        for (u, v), length in self._length_of.items():
+            yield u, v, length
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def seconds_to_meters(self, seconds: float) -> float:
+        """Distance covered in ``seconds`` at the network speed."""
+        return seconds * self._speed
+
+    def meters_to_seconds(self, meters: float) -> float:
+        """Travel time for ``meters`` at the network speed."""
+        return meters / self._speed
+
+    def straight_line_m(self, u: int, v: int) -> float:
+        """Euclidean distance between vertices ``u`` and ``v`` in metres."""
+        du = self._xy[u] - self._xy[v]
+        return float(math.hypot(du[0], du[1]))
+
+    def path_length_m(self, path: Sequence[int]) -> float:
+        """Total length in metres of a vertex path; validates every hop."""
+        total = 0.0
+        for u, v in zip(path, path[1:]):
+            total += self.edge_length(u, v)
+        return total
+
+    def path_cost_s(self, path: Sequence[int]) -> float:
+        """Total travel time in seconds of a vertex path."""
+        return self.path_length_m(path) / self._speed
+
+    def is_path(self, path: Sequence[int]) -> bool:
+        """Whether consecutive vertices in ``path`` are joined by edges."""
+        return all(self.has_edge(u, v) for u, v in zip(path, path[1:]))
+
+    # ------------------------------------------------------------------
+    # scipy interop
+    # ------------------------------------------------------------------
+    def to_csr(self) -> sparse.csr_matrix:
+        """Sparse adjacency matrix with edge lengths, cached."""
+        if self._csr is None:
+            n = self.num_vertices
+            if self._num_edges == 0:
+                self._csr = sparse.csr_matrix((n, n))
+            else:
+                rows = np.empty(self._num_edges, dtype=np.int64)
+                cols = np.empty(self._num_edges, dtype=np.int64)
+                data = np.empty(self._num_edges, dtype=np.float64)
+                for i, ((u, v), length) in enumerate(self._length_of.items()):
+                    rows[i] = u
+                    cols[i] = v
+                    # csgraph treats an explicit 0 as "no edge"; nudge
+                    # zero-length edges to a tiny positive weight instead.
+                    data[i] = length if length > 0 else 1e-9
+                self._csr = sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+        return self._csr
+
+    def nearest_vertex(self, x: float, y: float) -> int:
+        """Vertex closest to the planar point ``(x, y)``."""
+        d2 = (self._xy[:, 0] - x) ** 2 + (self._xy[:, 1] - y) ** 2
+        return int(np.argmin(d2))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoadNetwork(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges}, speed_mps={self._speed:.3f})"
+        )

@@ -1,0 +1,252 @@
+"""Shortest-path engines over :class:`~repro.network.graph.RoadNetwork`.
+
+The paper precomputes and caches shortest paths between all vertex pairs
+so that a shortest-path query costs O(1) during matching (Section V-A4).
+:class:`ShortestPathEngine` reproduces that: on graphs small enough it
+builds the full all-pairs matrix with scipy's C Dijkstra; on larger
+graphs it falls back to per-source computation with an LRU-style cache,
+which keeps memory bounded while staying fast for the skewed query
+distributions a dispatcher generates.
+
+:func:`dijkstra_restricted` is the segment-level router used by both
+basic routing (Algorithm 3) and probabilistic routing (Algorithm 4): a
+pure-Python Dijkstra over an arbitrary *allowed vertex set* (the union
+of the partitions that survived partition filtering), optionally with
+additive per-vertex weights.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from collections.abc import Callable, Collection, Mapping
+
+import numpy as np
+from scipy.sparse import csgraph
+
+from .graph import RoadNetwork
+
+#: Above this vertex count the full all-pairs matrix is not materialised.
+FULL_APSP_LIMIT = 6_000
+
+#: Default number of per-source Dijkstra results kept by the lazy cache.
+LAZY_CACHE_SIZE = 4_096
+
+_UNREACHABLE = np.inf
+
+
+class PathNotFound(RuntimeError):
+    """Raised when no path exists between the requested vertices."""
+
+
+class ShortestPathEngine:
+    """Cached shortest-path distances and paths on a road network.
+
+    Parameters
+    ----------
+    network:
+        The road network to route on.
+    mode:
+        ``"full"`` precomputes the all-pairs matrix up front, ``"lazy"``
+        computes single-source trees on demand, ``"auto"`` (default)
+        picks ``"full"`` below :data:`FULL_APSP_LIMIT` vertices.
+    cache_size:
+        Number of source trees retained in ``"lazy"`` mode.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        mode: str = "auto",
+        cache_size: int = LAZY_CACHE_SIZE,
+    ) -> None:
+        if mode not in ("auto", "full", "lazy"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if mode == "auto":
+            mode = "full" if network.num_vertices <= FULL_APSP_LIMIT else "lazy"
+        self._network = network
+        self._mode = mode
+        self._cache_size = cache_size
+        self._dist: np.ndarray | None = None
+        self._pred: np.ndarray | None = None
+        self._lazy: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        if mode == "full":
+            self._build_full()
+
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> RoadNetwork:
+        """The network this engine routes on."""
+        return self._network
+
+    @property
+    def mode(self) -> str:
+        """``"full"`` or ``"lazy"``."""
+        return self._mode
+
+    def _build_full(self) -> None:
+        mat = self._network.to_csr()
+        dist, pred = csgraph.dijkstra(mat, directed=True, return_predecessors=True)
+        self._dist = dist
+        self._pred = pred
+
+    def _source_tree(self, source: int) -> tuple[np.ndarray, np.ndarray]:
+        if self._mode == "full":
+            assert self._dist is not None and self._pred is not None
+            return self._dist[source], self._pred[source]
+        tree = self._lazy.get(source)
+        if tree is not None:
+            self._lazy.move_to_end(source)
+            return tree
+        mat = self._network.to_csr()
+        dist, pred = csgraph.dijkstra(
+            mat, directed=True, indices=source, return_predecessors=True
+        )
+        tree = (dist, pred)
+        self._lazy[source] = tree
+        if len(self._lazy) > self._cache_size:
+            self._lazy.popitem(last=False)
+        return tree
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def distance_m(self, u: int, v: int) -> float:
+        """Shortest-path distance from ``u`` to ``v`` in metres.
+
+        Returns ``inf`` when ``v`` is unreachable from ``u``.
+        """
+        if u == v:
+            return 0.0
+        dist, _ = self._source_tree(u)
+        return float(dist[v])
+
+    def cost(self, u: int, v: int) -> float:
+        """Shortest-path travel cost from ``u`` to ``v`` in seconds.
+
+        This is the ``cost(u, v)`` of the paper under the network's
+        constant speed.  Returns ``inf`` when unreachable.
+        """
+        return self.distance_m(u, v) / self._network.speed_mps
+
+    def reachable(self, u: int, v: int) -> bool:
+        """Whether ``v`` can be reached from ``u``."""
+        return self.distance_m(u, v) != _UNREACHABLE
+
+    def path(self, u: int, v: int) -> list[int]:
+        """Shortest path from ``u`` to ``v`` as a vertex list (inclusive).
+
+        Raises :class:`PathNotFound` when no path exists.
+        """
+        if u == v:
+            return [u]
+        dist, pred = self._source_tree(u)
+        if not np.isfinite(dist[v]):
+            raise PathNotFound(f"no path from {u} to {v}")
+        out = [v]
+        node = v
+        while node != u:
+            node = int(pred[node])
+            out.append(node)
+        out.reverse()
+        return out
+
+    def distances_from(self, source: int) -> np.ndarray:
+        """Vector of shortest distances (metres) from ``source``."""
+        dist, _ = self._source_tree(source)
+        return dist.copy()
+
+    def eccentricity_m(self, source: int) -> float:
+        """Largest finite shortest-path distance from ``source``."""
+        dist, _ = self._source_tree(source)
+        finite = dist[np.isfinite(dist)]
+        return float(finite.max()) if finite.size else 0.0
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the cached structures."""
+        total = 0
+        if self._dist is not None:
+            total += self._dist.nbytes
+        if self._pred is not None:
+            total += self._pred.nbytes
+        for dist, pred in self._lazy.values():
+            total += dist.nbytes + pred.nbytes
+        return total
+
+
+def dijkstra_restricted(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    allowed: Collection[int] | None = None,
+    vertex_weight: Mapping[int, float] | Callable[[int], float] | None = None,
+) -> tuple[float, list[int]]:
+    """Dijkstra from ``source`` to ``target`` over an allowed vertex set.
+
+    Parameters
+    ----------
+    allowed:
+        Vertices the path may use.  ``source`` and ``target`` are always
+        admitted.  ``None`` means the whole graph.
+    vertex_weight:
+        Optional additive weight charged on *entering* a vertex, used by
+        probabilistic routing where vertex ``v_c`` carries weight
+        ``1 / psi_c`` (Algorithm 4, step 3).  May be a mapping (missing
+        vertices cost 0) or a callable.
+
+    Returns
+    -------
+    (cost, path):
+        ``cost`` is the generalised path cost in seconds (edge travel
+        times plus vertex weights); ``path`` the vertex list.
+
+    Raises
+    ------
+    PathNotFound
+        When ``target`` is unreachable within ``allowed``.
+    """
+    if allowed is not None and not isinstance(allowed, (set, frozenset)):
+        allowed = set(allowed)
+
+    if vertex_weight is None:
+        def weight_of(_v: int) -> float:
+            return 0.0
+    elif callable(vertex_weight):
+        weight_of = vertex_weight
+    else:
+        mapping = vertex_weight
+
+        def weight_of(v: int) -> float:
+            return mapping.get(v, 0.0)
+
+    speed = network.speed_mps
+    dist: dict[int, float] = {source: 0.0}
+    prev: dict[int, int] = {}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    done: set[int] = set()
+
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        if u == target:
+            path = [u]
+            while path[-1] != source:
+                path.append(prev[path[-1]])
+            path.reverse()
+            return d, path
+        done.add(u)
+        for v, length in network.neighbors(u):
+            if v in done:
+                continue
+            if allowed is not None and v != target and v not in allowed:
+                continue
+            nd = d + length / speed + weight_of(v)
+            if nd < dist.get(v, _UNREACHABLE):
+                dist[v] = nd
+                prev[v] = u
+                heapq.heappush(heap, (nd, v))
+
+    raise PathNotFound(
+        f"no path from {source} to {target} within the allowed vertex set"
+    )

@@ -1,0 +1,88 @@
+"""Traffic conditions: time-of-day congestion profiles.
+
+The paper assumes stable traffic, with a stated extension path: "our
+system could easily extend to run with real-time traffic conditions if
+such information can be timely derived" (Section III-A).  This module
+provides that extension at the granularity the evaluation needs: a
+per-hour congestion profile that rescales the constant travel speed for
+the window being simulated.  Within a window, travel costs stay
+constant — exactly the paper's assumption — but different windows (the
+8 a.m. crawl versus the 10 a.m. weekend flow) see different speeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .graph import RoadNetwork
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Hourly speed factors relative to free flow.
+
+    ``factors[h]`` multiplies the network's base speed during hour
+    ``h`` of the day; 1.0 is free flow, 0.6 is heavy congestion.
+    """
+
+    factors: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.factors) != 24:
+            raise ValueError("a traffic profile needs one factor per hour")
+        if any(f <= 0 for f in self.factors):
+            raise ValueError("speed factors must be positive")
+
+    def factor_at_hour(self, hour: int) -> float:
+        """Speed factor during hour-of-day ``hour``."""
+        return self.factors[hour % 24]
+
+    def factor_at_time(self, t_seconds: float) -> float:
+        """Speed factor at an absolute simulation time."""
+        return self.factor_at_hour(int(t_seconds // 3600) % 24)
+
+    def speed_at_hour(self, base_speed_mps: float, hour: int) -> float:
+        """Effective speed during ``hour`` for a given free-flow speed."""
+        return base_speed_mps * self.factor_at_hour(hour)
+
+    def apply(self, network: RoadNetwork, hour: int) -> RoadNetwork:
+        """A copy of ``network`` travelling at the hour's effective speed.
+
+        Geometry and edge lengths are shared conceptually (re-built from
+        the same arrays); only the speed changes, so all travel costs
+        scale by ``1 / factor``.
+        """
+        return RoadNetwork(
+            np.asarray(network.xy).copy(),
+            list(network.edges()),
+            speed_mps=self.speed_at_hour(network.speed_mps, hour),
+        )
+
+
+def free_flow() -> TrafficModel:
+    """No congestion at any hour."""
+    return TrafficModel(factors=tuple([1.0] * 24))
+
+
+def chengdu_workday() -> TrafficModel:
+    """A workday congestion profile shaped after Chengdu's commute.
+
+    Morning (7-9) and evening (17-19) peaks slow traffic to ~65-70% of
+    free flow; nights run free.
+    """
+    factors = [1.0] * 24
+    for h, f in ((7, 0.75), (8, 0.65), (9, 0.75), (17, 0.70), (18, 0.65), (19, 0.75)):
+        factors[h] = f
+    for h in (10, 11, 12, 13, 14, 15, 16):
+        factors[h] = 0.85
+    return TrafficModel(factors=tuple(factors))
+
+
+def chengdu_weekend() -> TrafficModel:
+    """A weekend profile: mild midday slow-down, no commute peaks."""
+    factors = [1.0] * 24
+    for h in range(10, 21):
+        factors[h] = 0.85
+    return TrafficModel(factors=tuple(factors))

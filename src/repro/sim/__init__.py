@@ -1,0 +1,23 @@
+"""Simulation engine, metrics, and experiment scenarios."""
+
+from .engine import Simulator
+from .metrics import SimulationMetrics
+from .scenario import (
+    SCHEME_NAMES,
+    Scenario,
+    ScenarioSpec,
+    get_scenario,
+    nonpeak_spec,
+    peak_spec,
+)
+
+__all__ = [
+    "SCHEME_NAMES",
+    "Scenario",
+    "ScenarioSpec",
+    "SimulationMetrics",
+    "Simulator",
+    "get_scenario",
+    "nonpeak_spec",
+    "peak_spec",
+]

@@ -1,0 +1,317 @@
+"""Event-driven ridesharing simulator.
+
+The simulator owns the clock, the fleet and the workload; the dispatch
+scheme owns its indexes and matching logic.  Time advances to each
+online request's release instant; between instants every taxi is moved
+along its planned route at the constant network speed, firing pick-ups
+and drop-offs and scanning traversed vertices for *offline* requests
+waiting at the roadside.  After the last release the clock keeps
+ticking in fixed steps until all schedules drain.
+
+Offline requests live in a per-vertex pool.  When a taxi passes a
+vertex hosting a released, not-yet-expired offline request, the scheme
+is asked whether *this* taxi can serve it (Section IV-C2); if it
+cannot and ``redispatch_encounters`` is on, the request becomes visible
+to the dispatcher (the paper: "the server will quickly dispatch
+another taxi to serve it").
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..baselines.base import DispatchScheme
+from ..core.payment import PaymentModel
+from ..demand.request import RideRequest
+from ..fleet.taxi import FleetLog, Taxi
+from .metrics import SimulationMetrics
+
+#: Clock step while draining schedules after the last online release.
+DRAIN_STEP_S = 60.0
+
+#: Safety horizon after the last release before the run is cut off.
+DRAIN_HORIZON_S = 3 * 3600.0
+
+#: A street-hailing passenger flags down any taxi passing within this
+#: distance of where they stand (roughly one city block).
+DEFAULT_ENCOUNTER_RADIUS_M = 250.0
+
+
+@dataclass
+class _EpisodeState:
+    """Per-taxi ridesharing episode for payment settlement."""
+
+    start_time: float = 0.0
+    active: bool = False
+    member_requests: dict[int, RideRequest] = field(default_factory=dict)
+    pickup_times: dict[int, float] = field(default_factory=dict)
+    dropoff_times: dict[int, float] = field(default_factory=dict)
+
+
+class Simulator:
+    """Run one scheme over one workload on one fleet.
+
+    Parameters
+    ----------
+    scheme:
+        The dispatcher; its network/engine/config drive everything.
+    taxis:
+        Initial fleet; the simulator takes ownership and mutates it.
+    requests:
+        The full workload (online and offline), any order.
+    payment:
+        Optional payment model; when given, every ridesharing episode
+        is settled and the monetary aggregates are collected.
+    redispatch_encounters:
+        Whether an offline request that a taxi meets but cannot carry
+        is handed to the dispatcher as a fresh online request.
+    """
+
+    def __init__(
+        self,
+        scheme: DispatchScheme,
+        taxis: list[Taxi],
+        requests: list[RideRequest],
+        payment: PaymentModel | None = None,
+        redispatch_encounters: bool = True,
+        encounter_radius_m: float = DEFAULT_ENCOUNTER_RADIUS_M,
+    ) -> None:
+        self._scheme = scheme
+        self._fleet = {t.taxi_id: t for t in taxis}
+        self._requests = sorted(requests, key=lambda r: (r.release_time, r.request_id))
+        self._payment = payment
+        self._redispatch = redispatch_encounters
+        self._encounter_radius = float(encounter_radius_m)
+
+        self._log = FleetLog()
+        self._metrics = SimulationMetrics(scheme_name=scheme.name)
+        self._episodes: dict[int, _EpisodeState] = defaultdict(_EpisodeState)
+        # Offline requests are registered under every vertex inside their
+        # encounter radius; a taxi traversing any of those vertices can
+        # be hailed.  ``_offline_done`` marks requests already served or
+        # expired so duplicate bucket entries are skipped lazily.
+        self._offline_pool: dict[int, list[RideRequest]] = defaultdict(list)
+        self._offline_done: set[int] = set()
+        self._was_busy: dict[int, bool] = {}
+        self._now = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> SimulationMetrics:
+        """Metrics collected so far."""
+        return self._metrics
+
+    @property
+    def log(self) -> FleetLog:
+        """Per-request service records."""
+        return self._log
+
+    @property
+    def fleet(self) -> dict[int, Taxi]:
+        """The simulated taxis."""
+        return self._fleet
+
+    # ------------------------------------------------------------------
+    # callbacks wired into taxi movement
+    # ------------------------------------------------------------------
+    def _on_pickup(self, taxi: Taxi, request: RideRequest, t: float) -> None:
+        self._log.record_pickup(request, t)
+        episode = self._episodes[taxi.taxi_id]
+        if not episode.active:
+            episode.active = True
+            episode.start_time = t
+            episode.member_requests = {}
+            episode.pickup_times = {}
+            episode.dropoff_times = {}
+        episode.member_requests[request.request_id] = request
+        episode.pickup_times[request.request_id] = t
+
+    def _on_dropoff(self, taxi: Taxi, request: RideRequest, t: float) -> None:
+        self._log.record_dropoff(request, t)
+        self._scheme.on_request_finished(request)
+        trip = self._log.trips[request.request_id]
+        self._metrics.waiting_times_s.append(trip.waiting_time)
+        self._metrics.detour_times_s.append(trip.detour_time)
+        self._metrics.completed += 1
+
+        episode = self._episodes[taxi.taxi_id]
+        episode.dropoff_times[request.request_id] = t
+        self._quote_fare(taxi, episode, request, t)
+        if taxi.occupancy == 0 and episode.active:
+            self._settle_episode(taxi, episode, t)
+            episode.active = False
+
+    def _quote_fare(self, taxi: Taxi, episode: _EpisodeState,
+                    request: RideRequest, t: float) -> None:
+        """Online fare quote at drop-off (Eqs. 6-8).
+
+        The arriving passenger's fare uses the actual detour rates of
+        everyone already delivered and the *projected* rates (Eq. 7) of
+        co-riders still on board, assuming they finish along shortest
+        paths.  Quotes are stored per request in the metrics.
+        """
+        if self._payment is None or not episode.active:
+            return
+        engine = self._scheme.engine
+        speed = self._scheme.network.speed_mps
+        shortest = {}
+        shared = {}
+        projected_extra = {}
+        for rid, member in episode.member_requests.items():
+            if rid not in episode.pickup_times:
+                continue  # assigned to this episode but not yet aboard
+            shortest[rid] = member.direct_cost * speed
+            end = episode.dropoff_times.get(rid, t)
+            shared[rid] = max(0.0, (end - episode.pickup_times[rid]) * speed)
+            if rid not in episode.dropoff_times:
+                projected_extra[rid] = engine.distance_m(
+                    request.destination, member.destination
+                )
+        route_m = (t - episode.start_time) * speed
+        quote = self._payment.fare_at_dropoff(
+            request.request_id, shortest, shared, projected_extra, route_m
+        )
+        self._metrics.quoted_fares[request.request_id] = quote
+
+    def _settle_episode(self, taxi: Taxi, episode: _EpisodeState, end_time: float) -> None:
+        if self._payment is None:
+            return
+        speed = self._scheme.network.speed_mps
+        shortest = {}
+        shared = {}
+        for rid, request in episode.member_requests.items():
+            shortest[rid] = request.direct_cost * speed
+            shared[rid] = (episode.dropoff_times[rid] - episode.pickup_times[rid]) * speed
+        route_m = (end_time - episode.start_time) * speed
+        settlement = self._payment.settle(shortest, shared, route_m)
+        self._metrics.regular_fares += settlement.total_regular_fare
+        self._metrics.shared_fares += settlement.total_passenger_payment
+        self._metrics.driver_incomes += settlement.driver_income
+        self._metrics.route_fares += settlement.route_fare
+
+    # ------------------------------------------------------------------
+    # time advancement
+    # ------------------------------------------------------------------
+    def _advance_all(self, now: float) -> None:
+        for taxi in self._fleet.values():
+            fired_before = taxi._stops_fired  # noqa: SLF001 - engine drives fleet
+            traversed = taxi.advance(now, on_pickup=self._on_pickup, on_dropoff=self._on_dropoff)
+            if traversed:
+                stops_fired = taxi.idle or taxi._stops_fired != fired_before  # noqa: SLF001
+                self._scheme.on_taxi_advanced(taxi, now, stops_fired)
+                was_busy = self._was_busy.get(taxi.taxi_id, False)
+                if taxi.idle and was_busy:
+                    self._scheme.on_taxi_idle(taxi, now)
+                self._was_busy[taxi.taxi_id] = not taxi.idle
+                self._scan_encounters(taxi, traversed)
+            if taxi.idle:
+                # Idle taxis may start a demand-seeking cruise (non-peak
+                # probabilistic mode); a no-op for every other scheme.
+                self._scheme.maybe_cruise(taxi, now)
+
+    def _register_offline(self, request: RideRequest) -> None:
+        """Expose an offline request to every vertex it can hail from."""
+        xy = self._scheme.network.xy
+        ox, oy = xy[request.origin]
+        d2 = (xy[:, 0] - float(ox)) ** 2 + (xy[:, 1] - float(oy)) ** 2
+        catchment = (d2 <= self._encounter_radius**2).nonzero()[0]
+        for node in catchment:
+            self._offline_pool[int(node)].append(request)
+        if catchment.size == 0:
+            self._offline_pool[request.origin].append(request)
+
+    def _scan_encounters(self, taxi: Taxi, traversed: list[tuple[int, float]]) -> None:
+        for node, t in traversed:
+            pool = self._offline_pool.get(node)
+            if not pool:
+                continue
+            still_waiting: list[RideRequest] = []
+            for request in pool:
+                rid = request.request_id
+                if rid in self._offline_done:
+                    continue
+                if t < request.release_time:
+                    still_waiting.append(request)
+                    continue
+                if t > request.pickup_deadline:
+                    self._offline_done.add(rid)  # expired: the passenger gave up
+                    continue
+                result = self._scheme.try_offline(taxi, request, t)
+                if result is not None:
+                    self._install(result, request, t, offline=True)
+                    self._offline_done.add(rid)
+                    continue
+                if self._redispatch:
+                    handled = self._dispatch_online(request, t, count_response=False)
+                    if handled:
+                        self._metrics.served_online -= 1
+                        self._metrics.served_offline += 1
+                        self._offline_done.add(rid)
+                        continue
+                still_waiting.append(request)
+            if still_waiting:
+                self._offline_pool[node] = still_waiting
+            else:
+                del self._offline_pool[node]
+
+    # ------------------------------------------------------------------
+    # dispatching
+    # ------------------------------------------------------------------
+    def _install(self, result, request: RideRequest, now: float, offline: bool) -> None:
+        taxi = self._scheme.install(result, request, now)
+        self._was_busy[taxi.taxi_id] = True
+        self._log.record_assignment(request, result.taxi_id, now)
+        if offline:
+            self._metrics.served_offline += 1
+        else:
+            self._metrics.served_online += 1
+
+    def _dispatch_online(self, request: RideRequest, now: float, count_response: bool = True) -> bool:
+        t0 = time.perf_counter()
+        result = self._scheme.dispatch(request, now)
+        elapsed = time.perf_counter() - t0
+        if count_response:
+            self._metrics.response_times_s.append(elapsed)
+        if result is None:
+            return False
+        if count_response:
+            self._metrics.candidate_counts.append(result.num_candidates)
+        self._install(result, request, now, offline=False)
+        return True
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationMetrics:
+        """Execute the full workload and return the collected metrics."""
+        wall_start = time.perf_counter()
+        self._metrics.num_requests = len(self._requests)
+        self._metrics.num_online = sum(1 for r in self._requests if not r.offline)
+        self._metrics.num_offline = self._metrics.num_requests - self._metrics.num_online
+
+        self._scheme.register_fleet(self._fleet, now=0.0)
+        for taxi in self._fleet.values():
+            self._was_busy[taxi.taxi_id] = not taxi.idle
+
+        last_release = 0.0
+        for request in self._requests:
+            now = request.release_time
+            last_release = max(last_release, now)
+            self._advance_all(now)
+            self._now = now
+            if request.offline:
+                self._register_offline(request)
+            else:
+                self._dispatch_online(request, now)
+
+        # Drain: keep moving until every schedule is finished.
+        now = last_release
+        deadline = last_release + DRAIN_HORIZON_S
+        while now < deadline and any(not t.idle for t in self._fleet.values()):
+            now += DRAIN_STEP_S
+            self._advance_all(now)
+        self._now = now
+
+        self._metrics.index_memory_bytes = self._scheme.index_memory_bytes()
+        self._metrics.wall_time_s = time.perf_counter() - wall_start
+        return self._metrics

@@ -1,0 +1,119 @@
+"""Metric collection for simulation runs (Section V-A3 of the paper).
+
+The paper evaluates four headline metrics — number of served requests,
+response time, detour time, waiting time — plus candidate-set sizes
+(Table III), index/memory overheads (Table IV) and the monetary effects
+of the payment model (Fig. 19).  :class:`SimulationMetrics` accumulates
+the raw samples during a run and exposes the aggregates the benchmarks
+print.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimulationMetrics:
+    """Raw samples and derived aggregates for one simulation run."""
+
+    scheme_name: str = ""
+    num_requests: int = 0
+    num_online: int = 0
+    num_offline: int = 0
+
+    served_online: int = 0
+    served_offline: int = 0
+    completed: int = 0
+
+    response_times_s: list[float] = field(default_factory=list)
+    waiting_times_s: list[float] = field(default_factory=list)
+    detour_times_s: list[float] = field(default_factory=list)
+    candidate_counts: list[int] = field(default_factory=list)
+
+    regular_fares: float = 0.0
+    shared_fares: float = 0.0
+    driver_incomes: float = 0.0
+    route_fares: float = 0.0
+    #: Online fare quoted to each passenger at drop-off time (Eq. 8
+    #: with Eq. 7 projections for co-riders still aboard).
+    quoted_fares: dict[int, float] = field(default_factory=dict)
+
+    index_memory_bytes: int = 0
+    wall_time_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def served(self) -> int:
+        """Total requests assigned to a taxi (online + offline)."""
+        return self.served_online + self.served_offline
+
+    @property
+    def service_rate(self) -> float:
+        """Fraction of all requests that were served."""
+        return self.served / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def avg_response_ms(self) -> float:
+        """Mean matching latency per online request, in milliseconds."""
+        if not self.response_times_s:
+            return 0.0
+        return 1000.0 * statistics.fmean(self.response_times_s)
+
+    @property
+    def avg_waiting_min(self) -> float:
+        """Mean pick-up wait of served requests, in minutes."""
+        if not self.waiting_times_s:
+            return 0.0
+        return statistics.fmean(self.waiting_times_s) / 60.0
+
+    @property
+    def avg_detour_min(self) -> float:
+        """Mean extra on-board travel of completed trips, in minutes."""
+        if not self.detour_times_s:
+            return 0.0
+        return statistics.fmean(self.detour_times_s) / 60.0
+
+    @property
+    def avg_candidates(self) -> float:
+        """Mean candidate-set size per dispatched request (Table III)."""
+        if not self.candidate_counts:
+            return 0.0
+        return statistics.fmean(self.candidate_counts)
+
+    @property
+    def fare_saving_pct(self) -> float:
+        """Passenger fare saved versus riding alone, in percent (Fig. 19)."""
+        if self.regular_fares <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.shared_fares / self.regular_fares)
+
+    @property
+    def driver_gain_pct(self) -> float:
+        """Driver income above the metered route fare, in percent (Fig. 19)."""
+        if self.route_fares <= 0:
+            return 0.0
+        return 100.0 * (self.driver_incomes / self.route_fares - 1.0)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, float]:
+        """One-row summary used by the experiment harness."""
+        return {
+            "served": self.served,
+            "served_online": self.served_online,
+            "served_offline": self.served_offline,
+            "service_rate": round(self.service_rate, 4),
+            "response_ms": round(self.avg_response_ms, 3),
+            "waiting_min": round(self.avg_waiting_min, 3),
+            "detour_min": round(self.avg_detour_min, 3),
+            "candidates": round(self.avg_candidates, 2),
+            "fare_saving_pct": round(self.fare_saving_pct, 2),
+            "driver_gain_pct": round(self.driver_gain_pct, 2),
+            "index_memory_kb": round(self.index_memory_bytes / 1024.0, 1),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        rows = self.summary()
+        body = ", ".join(f"{k}={v}" for k, v in rows.items())
+        return f"{self.scheme_name}: {body}"

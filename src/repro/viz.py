@@ -1,0 +1,186 @@
+"""SVG rendering of networks, partitions, routes and demand.
+
+Dependency-free visual output (the paper's Fig. 3 shows the Chengdu
+network and its bipartite partitioning; Fig. 4 illustrates partition
+filtering).  Every function returns an SVG document as a string;
+``save`` writes one to disk.  Colours cycle through a qualitative
+palette per partition/route.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from .network.graph import RoadNetwork
+from .partitioning.bipartite import MapPartitioning
+
+#: Qualitative palette cycled for partitions and routes.
+PALETTE = (
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+    "#1b9e77", "#d95f02", "#7570b3", "#e7298a", "#66a61e",
+)
+
+
+class _Canvas:
+    """Maps planar metres onto an SVG viewport and collects elements."""
+
+    def __init__(self, network: RoadNetwork, size: int, margin: int) -> None:
+        xy = np.asarray(network.xy)
+        self._min = xy.min(axis=0)
+        span = max(float((xy.max(axis=0) - self._min).max()), 1e-9)
+        self._scale = (size - 2 * margin) / span
+        self._margin = margin
+        self._size = size
+        self.elements: list[str] = []
+
+    def pt(self, x: float, y: float) -> tuple[float, float]:
+        sx = self._margin + (x - self._min[0]) * self._scale
+        # SVG's y axis points down; flip so north is up.
+        sy = self._size - self._margin - (y - self._min[1]) * self._scale
+        return round(sx, 2), round(sy, 2)
+
+    def line(self, x1, y1, x2, y2, color="#999", width=1.0, opacity=1.0) -> None:
+        a = self.pt(x1, y1)
+        b = self.pt(x2, y2)
+        self.elements.append(
+            f'<line x1="{a[0]}" y1="{a[1]}" x2="{b[0]}" y2="{b[1]}" '
+            f'stroke="{color}" stroke-width="{width}" stroke-opacity="{opacity}"/>'
+        )
+
+    def circle(self, x, y, r=2.0, color="#333", opacity=1.0) -> None:
+        c = self.pt(x, y)
+        self.elements.append(
+            f'<circle cx="{c[0]}" cy="{c[1]}" r="{r}" fill="{color}" '
+            f'fill-opacity="{opacity}"/>'
+        )
+
+    def polyline(self, points: Sequence[tuple[float, float]], color="#e15759", width=2.5) -> None:
+        path = " ".join(f"{p[0]},{p[1]}" for p in (self.pt(x, y) for x, y in points))
+        self.elements.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}" stroke-linecap="round" stroke-linejoin="round"/>'
+        )
+
+    def text(self, x, y, content, size=12, color="#000") -> None:
+        c = self.pt(x, y)
+        self.elements.append(
+            f'<text x="{c[0]}" y="{c[1]}" font-size="{size}" fill="{color}" '
+            f'font-family="sans-serif">{content}</text>'
+        )
+
+    def render(self, title: str = "") -> str:
+        head = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self._size}" '
+            f'height="{self._size}" viewBox="0 0 {self._size} {self._size}">'
+        )
+        body = [head, '<rect width="100%" height="100%" fill="white"/>']
+        if title:
+            body.append(
+                f'<text x="{self._margin}" y="18" font-size="14" '
+                f'font-family="sans-serif" font-weight="bold">{title}</text>'
+            )
+        body.extend(self.elements)
+        body.append("</svg>")
+        return "\n".join(body)
+
+
+def render_network(network: RoadNetwork, size: int = 800, title: str = "") -> str:
+    """The road network: grey segments plus intersection dots."""
+    canvas = _Canvas(network, size, margin=24)
+    xy = np.asarray(network.xy)
+    for u, v, _length in network.edges():
+        if u < v:  # draw each undirected pair once
+            canvas.line(*xy[u], *xy[v], color="#bbb", width=1.0)
+    for x, y in xy:
+        canvas.circle(float(x), float(y), r=1.4, color="#666")
+    return canvas.render(title or "road network")
+
+
+def render_partitions(
+    network: RoadNetwork,
+    partitioning: MapPartitioning,
+    size: int = 800,
+    title: str = "",
+) -> str:
+    """The paper's Fig. 3(b): vertices coloured by map partition."""
+    canvas = _Canvas(network, size, margin=24)
+    xy = np.asarray(network.xy)
+    for u, v, _length in network.edges():
+        if u < v:
+            canvas.line(*xy[u], *xy[v], color="#ddd", width=0.8)
+    for vertex in range(network.num_vertices):
+        color = PALETTE[partitioning.partition_of(vertex) % len(PALETTE)]
+        canvas.circle(float(xy[vertex, 0]), float(xy[vertex, 1]), r=3.0, color=color)
+    label = title or (
+        f"{partitioning.method} partitioning, kappa={partitioning.num_partitions}"
+    )
+    return canvas.render(label)
+
+
+def render_routes(
+    network: RoadNetwork,
+    routes: Iterable[Sequence[int]],
+    size: int = 800,
+    title: str = "",
+    markers: Iterable[int] = (),
+) -> str:
+    """Vertex paths over the network (e.g. a shared taxi's route).
+
+    ``markers`` are highlighted vertices (pick-up/drop-off points).
+    """
+    canvas = _Canvas(network, size, margin=24)
+    xy = np.asarray(network.xy)
+    for u, v, _length in network.edges():
+        if u < v:
+            canvas.line(*xy[u], *xy[v], color="#ddd", width=0.8)
+    for i, route in enumerate(routes):
+        color = PALETTE[i % len(PALETTE)]
+        points = [(float(xy[n, 0]), float(xy[n, 1])) for n in route]
+        if len(points) >= 2:
+            canvas.polyline(points, color=color, width=2.5)
+        if points:
+            canvas.circle(*points[0], r=4.0, color=color)
+    for node in markers:
+        canvas.circle(float(xy[node, 0]), float(xy[node, 1]), r=5.0, color="#000", opacity=0.8)
+    return canvas.render(title or "taxi routes")
+
+
+def render_demand(
+    network: RoadNetwork,
+    pickup_counts: np.ndarray,
+    size: int = 800,
+    title: str = "",
+) -> str:
+    """A pick-up heat map: dot area proportional to demand."""
+    counts = np.asarray(pickup_counts, dtype=float)
+    if counts.shape != (network.num_vertices,):
+        raise ValueError("pickup_counts must have one entry per vertex")
+    canvas = _Canvas(network, size, margin=24)
+    xy = np.asarray(network.xy)
+    for u, v, _length in network.edges():
+        if u < v:
+            canvas.line(*xy[u], *xy[v], color="#eee", width=0.8)
+    peak = counts.max() if counts.size and counts.max() > 0 else 1.0
+    for vertex in range(network.num_vertices):
+        share = counts[vertex] / peak
+        if share <= 0:
+            continue
+        canvas.circle(
+            float(xy[vertex, 0]),
+            float(xy[vertex, 1]),
+            r=2.0 + 10.0 * np.sqrt(share),
+            color="#e15759",
+            opacity=0.35 + 0.5 * share,
+        )
+    return canvas.render(title or "pick-up demand")
+
+
+def save(svg: str, path: str | Path) -> Path:
+    """Write an SVG string to disk; returns the path."""
+    path = Path(path)
+    path.write_text(svg)
+    return path

@@ -1,0 +1,5 @@
+"""Test package for the mT-Share reproduction.
+
+The package marker keeps `tests.conftest` importable regardless of how
+pytest is invoked (`pytest` vs `python -m pytest`).
+"""

@@ -1,0 +1,124 @@
+"""Shared fixtures: tiny deterministic networks and a small scenario."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.demand.request import RideRequest
+from repro.network.generators import grid_city, small_test_network
+from repro.network.landmarks import LandmarkGraph
+from repro.network.shortest_path import ShortestPathEngine
+from repro.partitioning.bipartite import bipartite_partition
+from repro.sim.scenario import ScenarioSpec, get_scenario
+
+
+@pytest.fixture(scope="session")
+def tiny_net():
+    """3x3 deterministic bidirectional grid (100 m spacing)."""
+    return small_test_network()
+
+
+@pytest.fixture(scope="session")
+def tiny_engine(tiny_net):
+    """Full-APSP engine over the tiny network."""
+    return ShortestPathEngine(tiny_net)
+
+
+@pytest.fixture(scope="session")
+def small_net():
+    """A 10x10 perturbed city used where a bit more structure is needed."""
+    return grid_city(rows=10, cols=10, spacing_m=150.0, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_engine(small_net):
+    return ShortestPathEngine(small_net)
+
+
+@pytest.fixture(scope="session")
+def small_trips(small_net):
+    """Synthetic historical OD pairs over the small network."""
+    rng = np.random.default_rng(11)
+    return rng.integers(0, small_net.num_vertices, size=(3000, 2))
+
+
+@pytest.fixture(scope="session")
+def small_partitioning(small_net, small_trips):
+    return bipartite_partition(
+        small_net, small_trips, num_partitions=10, num_transition_clusters=4, seed=2
+    )
+
+
+@pytest.fixture(scope="session")
+def small_landmarks(small_net, small_partitioning, small_engine):
+    return LandmarkGraph(small_net, small_partitioning.partitions, small_engine)
+
+
+@pytest.fixture(scope="session")
+def test_spec():
+    """A scenario spec small enough for per-test simulations."""
+    return ScenarioSpec(
+        kind="peak",
+        grid_rows=12,
+        grid_cols=12,
+        spacing_m=180.0,
+        hourly_requests=250,
+        history_days=2,
+        num_partitions=16,
+        offline_count=40,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def test_nonpeak_spec():
+    return ScenarioSpec(
+        kind="nonpeak",
+        grid_rows=12,
+        grid_cols=12,
+        spacing_m=180.0,
+        hourly_requests=250,
+        history_days=2,
+        num_partitions=16,
+        offline_count=40,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def test_scenario(test_spec):
+    return get_scenario(test_spec)
+
+
+@pytest.fixture(scope="session")
+def test_nonpeak_scenario(test_nonpeak_spec):
+    return get_scenario(test_nonpeak_spec)
+
+
+def make_request(
+    request_id=0,
+    release_time=0.0,
+    origin=0,
+    destination=8,
+    direct_cost=100.0,
+    rho=1.3,
+    offline=False,
+    num_passengers=1,
+):
+    """Request factory with permissive defaults for unit tests."""
+    return RideRequest.from_flexible_factor(
+        request_id=request_id,
+        release_time=release_time,
+        origin=origin,
+        destination=destination,
+        direct_cost=direct_cost,
+        rho=rho,
+        offline=offline,
+        num_passengers=num_passengers,
+    )
+
+
+@pytest.fixture
+def request_factory():
+    return make_request

@@ -1,0 +1,96 @@
+"""Tests for the post-hoc run analysis."""
+
+import pytest
+
+from repro.experiments.analysis import (
+    FleetProfile,
+    SharingProfile,
+    fleet_profile,
+    run_report,
+    sharing_profile,
+    waiting_by_trip_length,
+)
+from repro.fleet.taxi import FleetLog
+from repro.sim.engine import Simulator
+from tests.conftest import make_request
+
+
+def record_trip(log, rid, taxi_id, release, pickup, dropoff, direct=300.0):
+    r = make_request(request_id=rid, release_time=release, direct_cost=direct, rho=3.0)
+    log.record_assignment(r, taxi_id, release)
+    log.record_pickup(r, pickup)
+    log.record_dropoff(r, dropoff)
+    return r
+
+
+class TestSharingProfile:
+    def test_disjoint_trips_are_solo(self):
+        log = FleetLog()
+        record_trip(log, 1, 0, 0.0, 10.0, 100.0)
+        record_trip(log, 2, 0, 200.0, 210.0, 300.0)
+        profile = sharing_profile(log)
+        assert profile.solo_trips == 2
+        assert profile.shared_trips == 0
+        assert profile.shared_fraction == 0.0
+
+    def test_overlapping_trips_are_shared(self):
+        log = FleetLog()
+        record_trip(log, 1, 0, 0.0, 10.0, 200.0)
+        record_trip(log, 2, 0, 0.0, 100.0, 300.0)
+        profile = sharing_profile(log)
+        assert profile.shared_trips == 2
+        assert profile.avg_corider_time_s == pytest.approx(100.0)
+
+    def test_different_taxis_never_share(self):
+        log = FleetLog()
+        record_trip(log, 1, 0, 0.0, 10.0, 200.0)
+        record_trip(log, 2, 1, 0.0, 10.0, 200.0)
+        assert sharing_profile(log).shared_trips == 0
+
+    def test_empty_log(self):
+        profile = sharing_profile(FleetLog())
+        assert profile.solo_trips == 0
+        assert profile.shared_fraction == 0.0
+
+
+class TestWaitingBuckets:
+    def test_bucket_labels(self):
+        log = FleetLog()
+        record_trip(log, 1, 0, 0.0, 60.0, 200.0, direct=120.0)   # 0-5 min trip
+        record_trip(log, 2, 0, 300.0, 420.0, 1400.0, direct=950.0)  # 15+ min trip
+        buckets = waiting_by_trip_length(log)
+        means = buckets.means_min()
+        assert "0-5 min" in means
+        assert means["0-5 min"] == pytest.approx(1.0)
+        assert any("inf" in k for k in means)
+
+
+class TestFleetProfile:
+    @pytest.fixture(scope="class")
+    def finished_sim(self, test_scenario):
+        sim = Simulator(
+            test_scenario.make_scheme("mt-share"),
+            test_scenario.make_fleet(12, seed=5),
+            test_scenario.requests(),
+        )
+        sim.run()
+        return sim
+
+    def test_profile_consistency(self, finished_sim):
+        profile = fleet_profile(finished_sim)
+        assert isinstance(profile, FleetProfile)
+        assert profile.num_taxis == 12
+        assert 0 < profile.taxis_used <= 12
+        assert profile.taxis_unused == 12 - profile.taxis_used
+        assert 0.0 <= profile.busy_fraction_mean <= 1.0
+        assert profile.trips_per_taxi_max >= profile.trips_per_taxi_mean
+
+    def test_sharing_profile_on_real_run(self, finished_sim):
+        profile = sharing_profile(finished_sim.log)
+        assert profile.solo_trips + profile.shared_trips == finished_sim.metrics.completed
+
+    def test_run_report_renders(self, finished_sim):
+        report = run_report(finished_sim)
+        assert "run report" in report
+        assert "served" in report
+        assert "fleet" in report

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list_prints_schemes(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mt-share" in out
+        assert "fig6" in out
+        assert "cruising" in out
+
+
+class TestSimulate:
+    def test_simulate_runs(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--scheme", "no-sharing",
+                "--taxis", "10",
+                "--requests", "120",
+                "--grid", "10",
+                "--partitions", "9",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served" in out
+        assert "response_ms" in out
+
+    def test_simulate_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--scheme", "uber"])
+
+    def test_simulate_nonpeak(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--scheme", "mt-share",
+                "--kind", "nonpeak",
+                "--taxis", "10",
+                "--requests", "120",
+                "--grid", "10",
+                "--partitions", "9",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        assert "served_offline" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

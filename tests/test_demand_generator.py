@@ -1,0 +1,128 @@
+"""Tests for the synthetic Chengdu-like demand generator."""
+
+import numpy as np
+import pytest
+
+from repro.demand.generator import (
+    WEEKEND_HOURLY_PROFILE,
+    WORKDAY_HOURLY_PROFILE,
+    ZONE_TYPES,
+    ChengduLikeDemand,
+    _flow_matrix,
+    _origin_weights,
+)
+
+
+@pytest.fixture(scope="module")
+def demand(small_net):
+    return ChengduLikeDemand(small_net, num_zones=8, vertices_per_zone=8,
+                             hourly_requests=200, seed=1)
+
+
+class TestProfiles:
+    def test_profiles_have_24_hours(self):
+        assert WORKDAY_HOURLY_PROFILE.shape == (24,)
+        assert WEEKEND_HOURLY_PROFILE.shape == (24,)
+
+    def test_workday_peaks_at_8(self):
+        assert int(np.argmax(WORKDAY_HOURLY_PROFILE)) == 8
+
+    def test_weekend_flatter_than_workday(self):
+        assert WEEKEND_HOURLY_PROFILE.std() < WORKDAY_HOURLY_PROFILE.std()
+
+    @pytest.mark.parametrize("hour", [3, 8, 12, 18, 22])
+    @pytest.mark.parametrize("weekend", [False, True])
+    def test_flow_matrix_stochastic(self, hour, weekend):
+        m = _flow_matrix(hour, weekend, concentration=4.0)
+        assert m.shape == (4, 4)
+        assert np.allclose(m.sum(axis=1), 1.0)
+        assert (m >= 0).all()
+
+    def test_morning_commute_targets_business(self):
+        m = _flow_matrix(8, weekend=False)
+        residential, business = 0, 1
+        assert m[residential, business] == m[residential].max()
+
+    def test_origin_weights_normalised(self):
+        for hour in (4, 8, 17, 23):
+            for weekend in (False, True):
+                w = _origin_weights(hour, weekend)
+                assert w.sum() == pytest.approx(1.0)
+
+
+class TestZones:
+    def test_zone_count_and_types(self, demand):
+        zones = demand.zones
+        assert len(zones) == 8
+        assert {z.zone_type for z in zones} == set(ZONE_TYPES)
+
+    def test_zone_members_are_vertices(self, demand, small_net):
+        for z in demand.zones:
+            assert all(0 <= v < small_net.num_vertices for v in z.member_vertices)
+
+    def test_too_few_zones_rejected(self, small_net):
+        with pytest.raises(ValueError):
+            ChengduLikeDemand(small_net, num_zones=2)
+
+    def test_bad_rate_rejected(self, small_net):
+        with pytest.raises(ValueError):
+            ChengduLikeDemand(small_net, hourly_requests=0)
+
+    def test_bad_concentration_rejected(self, small_net):
+        with pytest.raises(ValueError):
+            ChengduLikeDemand(small_net, concentration=0.0)
+
+
+class TestGeneration:
+    def test_hour_volume_tracks_profile(self, demand):
+        peak = demand.generate_hour(0, 8, weekend=False)
+        night = demand.generate_hour(0, 3, weekend=False)
+        assert len(peak) > 3 * len(night)
+
+    def test_trips_sorted_and_in_hour(self, demand):
+        trips = demand.generate_hour(2, 10, weekend=False)
+        times = [t for t, _o, _d in trips]
+        assert times == sorted(times)
+        start = (2 * 24 + 10) * 3600.0
+        assert all(start <= t < start + 3600.0 for t in times)
+
+    def test_no_self_trips(self, demand):
+        trips = demand.generate_hour(0, 8)
+        assert all(o != d for _t, o, d in trips)
+
+    def test_deterministic_given_seed(self, small_net):
+        a = ChengduLikeDemand(small_net, num_zones=6, hourly_requests=100, seed=9)
+        b = ChengduLikeDemand(small_net, num_zones=6, hourly_requests=100, seed=9)
+        assert a.generate_hour(0, 8) == b.generate_hour(0, 8)
+
+    def test_rate_scale(self, demand):
+        big = demand.generate_hour(0, 8, rate_scale=2.0)
+        small = demand.generate_hour(0, 8, rate_scale=0.25)
+        assert len(big) > len(small)
+
+    def test_generate_window(self, demand):
+        ds = demand.generate_window(1, 8, 2, weekend=False)
+        assert len(ds) > 0
+        hours = set((ds.release_times // 3600).astype(int).tolist())
+        assert hours <= {1 * 24 + 8, 1 * 24 + 9}
+
+    def test_generate_days(self, demand):
+        ds = demand.generate_days(2)
+        assert ds.release_times.max() < 2 * 86400.0
+        # Both days contribute trips.
+        assert len(ds.window(0.0, 86400.0)) > 0
+        assert len(ds.window(86400.0, 2 * 86400.0)) > 0
+
+    def test_corridor_structure_learnable(self, demand):
+        """Trips from one zone should concentrate on few partner zones."""
+        trips = demand.generate_window(0, 7, 3, weekend=False)
+        # entropy check: the destination distribution per origin vertex
+        # group should be far from uniform.
+        origins = trips.origins
+        dests = trips.destinations
+        top_origin = np.bincount(origins).argmax()
+        mask = origins == top_origin
+        if mask.sum() >= 10:
+            dest_counts = np.bincount(dests[mask])
+            top_share = dest_counts.max() / mask.sum()
+            assert top_share > 0.15

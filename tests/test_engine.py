@@ -1,0 +1,172 @@
+"""End-to-end simulator tests: invariants that must hold for every scheme."""
+
+import math
+
+import pytest
+
+from repro.core.payment import PaymentModel
+from repro.sim.engine import Simulator
+
+
+SCHEMES = ["no-sharing", "t-share", "pgreedydp", "mt-share"]
+
+
+@pytest.fixture(scope="module")
+def peak_runs(test_scenario):
+    """One simulation per scheme on the shared test scenario."""
+    runs = {}
+    requests = test_scenario.requests()
+    for name in SCHEMES:
+        sim = Simulator(
+            test_scenario.make_scheme(name),
+            test_scenario.make_fleet(15, seed=1),
+            requests,
+            payment=PaymentModel(),
+        )
+        metrics = sim.run()
+        runs[name] = (sim, metrics)
+    return runs
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_served_bounded_by_requests(self, peak_runs, name):
+        _sim, m = peak_runs[name]
+        assert 0 <= m.served <= m.num_requests
+
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_some_requests_served(self, peak_runs, name):
+        _sim, m = peak_runs[name]
+        assert m.served > 0
+
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_completed_trips_meet_deadlines(self, peak_runs, name):
+        sim, _m = peak_runs[name]
+        for trip in sim.log.completed():
+            assert trip.dropoff_time <= trip.request.deadline + 1e-6
+            assert trip.pickup_time <= trip.request.pickup_deadline + 1e-6
+            assert trip.pickup_time >= trip.request.release_time - 1e-6
+
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_waiting_and_detour_non_negative(self, peak_runs, name):
+        _sim, m = peak_runs[name]
+        assert all(w >= -1e-9 for w in m.waiting_times_s)
+        assert all(d >= 0.0 for d in m.detour_times_s)
+
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_assigned_trips_complete(self, peak_runs, name):
+        sim, m = peak_runs[name]
+        # Every assignment eventually completes within the drain horizon.
+        incomplete = [t for t in sim.log.trips.values() if not t.completed]
+        assert len(incomplete) == 0
+        assert m.completed == m.served
+
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_response_time_measured(self, peak_runs, name):
+        _sim, m = peak_runs[name]
+        assert len(m.response_times_s) == m.num_online
+        assert m.avg_response_ms >= 0.0
+
+    def test_no_sharing_has_zero_detour(self, peak_runs):
+        _sim, m = peak_runs["no-sharing"]
+        assert m.avg_detour_min == pytest.approx(0.0)
+
+    def test_sharing_serves_at_least_no_sharing(self, peak_runs):
+        base = peak_runs["no-sharing"][1].served
+        for name in ("t-share", "pgreedydp", "mt-share"):
+            assert peak_runs[name][1].served >= base * 0.8
+
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_fleet_ends_idle(self, peak_runs, name):
+        sim, _m = peak_runs[name]
+        for taxi in sim.fleet.values():
+            assert taxi.occupancy == 0
+            assert not taxi.assigned
+
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_payment_aggregates_consistent(self, peak_runs, name):
+        _sim, m = peak_runs[name]
+        if m.regular_fares > 0:
+            assert m.shared_fares <= m.regular_fares + 1e-6
+            assert m.driver_incomes >= m.route_fares - 1e-6
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self, test_scenario):
+        results = []
+        for _ in range(2):
+            sim = Simulator(
+                test_scenario.make_scheme("mt-share"),
+                test_scenario.make_fleet(10, seed=2),
+                test_scenario.requests(),
+            )
+            m = sim.run()
+            results.append((m.served, tuple(sorted(sim.log.trips))))
+        assert results[0] == results[1]
+
+
+class TestOfflineHandling:
+    @pytest.fixture(scope="class")
+    def nonpeak_run(self, test_nonpeak_scenario):
+        sim = Simulator(
+            test_nonpeak_scenario.make_scheme("mt-share-pro"),
+            test_nonpeak_scenario.make_fleet(15, seed=1),
+            test_nonpeak_scenario.requests(),
+        )
+        return sim, sim.run()
+
+    def test_offline_requests_counted(self, nonpeak_run):
+        _sim, m = nonpeak_run
+        assert m.num_offline > 0
+        assert m.num_online + m.num_offline == m.num_requests
+
+    def test_offline_can_be_served(self, nonpeak_run):
+        _sim, m = nonpeak_run
+        assert m.served_offline >= 0
+        assert m.served_offline <= m.num_offline
+
+    def test_offline_served_trips_respect_deadlines(self, nonpeak_run):
+        sim, _m = nonpeak_run
+        for trip in sim.log.completed():
+            if trip.request.offline:
+                assert trip.pickup_time >= trip.request.release_time - 1e-6
+                assert trip.dropoff_time <= trip.request.deadline + 1e-6
+
+    def test_no_redispatch_serves_fewer_or_equal(self, test_nonpeak_scenario):
+        requests = test_nonpeak_scenario.requests()
+        with_r = Simulator(
+            test_nonpeak_scenario.make_scheme("mt-share"),
+            test_nonpeak_scenario.make_fleet(15, seed=1),
+            requests,
+            redispatch_encounters=True,
+        ).run()
+        without_r = Simulator(
+            test_nonpeak_scenario.make_scheme("mt-share"),
+            test_nonpeak_scenario.make_fleet(15, seed=1),
+            requests,
+            redispatch_encounters=False,
+        ).run()
+        assert without_r.served_offline <= with_r.served_offline
+
+    def test_encounter_radius_zero_still_works(self, test_nonpeak_scenario):
+        m = Simulator(
+            test_nonpeak_scenario.make_scheme("mt-share"),
+            test_nonpeak_scenario.make_fleet(10, seed=0),
+            test_nonpeak_scenario.requests(),
+            encounter_radius_m=0.0,
+        ).run()
+        assert m.served >= 0  # exact-vertex encounters only
+
+
+class TestMetricsSummary:
+    def test_summary_keys(self, peak_runs):
+        s = peak_runs["mt-share"][1].summary()
+        for key in ("served", "response_ms", "waiting_min", "detour_min", "candidates"):
+            assert key in s
+
+    def test_str_renders(self, peak_runs):
+        assert "mT-Share" in str(peak_runs["mt-share"][1])
+
+    def test_service_rate(self, peak_runs):
+        m = peak_runs["mt-share"][1]
+        assert m.service_rate == pytest.approx(m.served / m.num_requests)

@@ -1,0 +1,89 @@
+"""Tests for the synthetic road-network generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import sparse
+from scipy.sparse import csgraph
+
+from repro.network.generators import grid_city, ring_radial_city, small_test_network
+
+
+def is_strongly_connected(net) -> bool:
+    rows, cols = [], []
+    for u, v, _l in net.edges():
+        rows.append(u)
+        cols.append(v)
+    mat = sparse.csr_matrix(
+        (np.ones(len(rows)), (rows, cols)),
+        shape=(net.num_vertices, net.num_vertices),
+    )
+    n, _ = csgraph.connected_components(mat, directed=True, connection="strong")
+    return n == 1
+
+
+class TestGridCity:
+    def test_default_is_strongly_connected(self):
+        net = grid_city(rows=10, cols=10, seed=1)
+        assert is_strongly_connected(net)
+
+    def test_deterministic_for_seed(self):
+        a = grid_city(rows=8, cols=8, seed=42)
+        b = grid_city(rows=8, cols=8, seed=42)
+        assert a.num_vertices == b.num_vertices
+        assert list(a.edges()) == list(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = grid_city(rows=8, cols=8, seed=1)
+        b = grid_city(rows=8, cols=8, seed=2)
+        assert list(a.edges()) != list(b.edges())
+
+    def test_vertex_count_bounded(self):
+        net = grid_city(rows=6, cols=7, seed=0)
+        assert 1 <= net.num_vertices <= 42
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            grid_city(rows=1, cols=5)
+
+    def test_no_removals_keeps_full_grid(self):
+        net = grid_city(rows=5, cols=5, removal_rate=0.0, one_way_rate=0.0, seed=0)
+        assert net.num_vertices == 25
+        assert net.num_edges == 2 * (2 * 5 * 4)  # 40 undirected segments
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=4, max_value=10), st.integers(min_value=0, max_value=100))
+    def test_always_strongly_connected(self, size, seed):
+        net = grid_city(rows=size, cols=size, removal_rate=0.15, one_way_rate=0.2, seed=seed)
+        assert is_strongly_connected(net)
+
+    def test_spacing_scales_extent(self):
+        small = grid_city(rows=5, cols=5, spacing_m=100.0, jitter=0.0, removal_rate=0.0, seed=0)
+        big = grid_city(rows=5, cols=5, spacing_m=300.0, jitter=0.0, removal_rate=0.0, seed=0)
+        assert big.xy[:, 0].max() == pytest.approx(3 * small.xy[:, 0].max())
+
+
+class TestRingRadialCity:
+    def test_connected(self):
+        net = ring_radial_city(num_rings=4, num_radials=8, seed=0)
+        assert is_strongly_connected(net)
+
+    def test_vertex_count(self):
+        net = ring_radial_city(num_rings=3, num_radials=6, seed=0)
+        assert net.num_vertices == 1 + 3 * 6
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ring_radial_city(num_rings=0)
+        with pytest.raises(ValueError):
+            ring_radial_city(num_radials=2)
+
+
+class TestSmallTestNetwork:
+    def test_layout(self, tiny_net):
+        assert tiny_net.num_vertices == 9
+        assert tiny_net.point(0).x == 0.0
+        assert tiny_net.point(8).y == 200.0
+
+    def test_strongly_connected(self, tiny_net):
+        assert is_strongly_connected(tiny_net)

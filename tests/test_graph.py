@@ -1,0 +1,140 @@
+"""Unit tests for the road-network graph."""
+
+import numpy as np
+import pytest
+
+from repro.network.graph import DEFAULT_SPEED_MPS, RoadNetwork, RoadNetworkError
+
+
+def line_network(n=4, spacing=100.0, speed=DEFAULT_SPEED_MPS):
+    """0 - 1 - 2 - ... - (n-1), bidirectional."""
+    xy = [(i * spacing, 0.0) for i in range(n)]
+    edges = []
+    for i in range(n - 1):
+        edges += [(i, i + 1), (i + 1, i)]
+    return RoadNetwork(xy, edges, speed_mps=speed)
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_net):
+        assert tiny_net.num_vertices == 9
+        assert tiny_net.num_edges == 24  # 12 undirected grid edges, both ways
+
+    def test_empty_vertices_rejected(self):
+        with pytest.raises(RoadNetworkError):
+            RoadNetwork(np.empty((0, 2)), [])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(RoadNetworkError):
+            RoadNetwork(np.zeros((3, 3)), [])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(RoadNetworkError):
+            RoadNetwork([(0, 0), (1, 1)], [(0, 0)])
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(RoadNetworkError):
+            RoadNetwork([(0, 0), (1, 1)], [(0, 5)])
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(RoadNetworkError):
+            RoadNetwork([(0, 0), (1, 1)], [(0, 1, -2.0)])
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(RoadNetworkError):
+            RoadNetwork([(0, 0), (1, 1)], [(0, 1)], speed_mps=-1.0)
+
+    def test_parallel_edges_keep_cheapest(self):
+        net = RoadNetwork([(0, 0), (100, 0)], [(0, 1, 500.0), (0, 1, 120.0)])
+        assert net.num_edges == 1
+        assert net.edge_length(0, 1) == 120.0
+
+    def test_default_length_is_euclidean(self):
+        net = RoadNetwork([(0, 0), (30, 40)], [(0, 1)])
+        assert net.edge_length(0, 1) == pytest.approx(50.0)
+
+    def test_explicit_length_overrides(self):
+        net = RoadNetwork([(0, 0), (30, 40)], [(0, 1, 75.0)])
+        assert net.edge_length(0, 1) == 75.0
+
+    def test_bad_edge_arity_rejected(self):
+        with pytest.raises(RoadNetworkError):
+            RoadNetwork([(0, 0), (1, 1)], [(0, 1, 1.0, 2.0)])
+
+
+class TestAccessors:
+    def test_neighbors(self, tiny_net):
+        # Centre vertex 4 connects to 1, 3, 5, 7.
+        assert sorted(v for v, _l in tiny_net.neighbors(4)) == [1, 3, 5, 7]
+
+    def test_in_neighbors_symmetric_grid(self, tiny_net):
+        assert sorted(v for v, _l in tiny_net.in_neighbors(4)) == [1, 3, 5, 7]
+
+    def test_out_degree_corner(self, tiny_net):
+        assert tiny_net.out_degree(0) == 2
+
+    def test_has_edge(self, tiny_net):
+        assert tiny_net.has_edge(0, 1)
+        assert not tiny_net.has_edge(0, 8)
+
+    def test_edge_length_missing_raises(self, tiny_net):
+        with pytest.raises(RoadNetworkError):
+            tiny_net.edge_length(0, 8)
+
+    def test_edges_iterates_all(self, tiny_net):
+        assert sum(1 for _ in tiny_net.edges()) == tiny_net.num_edges
+
+    def test_xy_read_only(self, tiny_net):
+        with pytest.raises(ValueError):
+            tiny_net.xy[0, 0] = 99.0
+
+    def test_point(self, tiny_net):
+        p = tiny_net.point(4)
+        assert (p.x, p.y) == (100.0, 100.0)
+
+    def test_nearest_vertex(self, tiny_net):
+        assert tiny_net.nearest_vertex(95.0, 105.0) == 4
+        assert tiny_net.nearest_vertex(-50.0, -50.0) == 0
+
+
+class TestConversions:
+    def test_edge_cost_uses_speed(self):
+        net = line_network(speed=10.0)
+        assert net.edge_cost(0, 1) == pytest.approx(10.0)  # 100 m at 10 m/s
+
+    def test_seconds_meters_round_trip(self, tiny_net):
+        assert tiny_net.seconds_to_meters(tiny_net.meters_to_seconds(123.0)) == pytest.approx(123.0)
+
+    def test_straight_line(self, tiny_net):
+        assert tiny_net.straight_line_m(0, 8) == pytest.approx(200.0 * np.sqrt(2))
+
+    def test_path_length(self, tiny_net):
+        assert tiny_net.path_length_m([0, 1, 2, 5]) == pytest.approx(300.0)
+
+    def test_path_cost(self):
+        net = line_network(speed=20.0)
+        assert net.path_cost_s([0, 1, 2]) == pytest.approx(10.0)
+
+    def test_path_length_invalid_hop_raises(self, tiny_net):
+        with pytest.raises(RoadNetworkError):
+            tiny_net.path_length_m([0, 8])
+
+    def test_is_path(self, tiny_net):
+        assert tiny_net.is_path([0, 1, 4, 7, 8])
+        assert not tiny_net.is_path([0, 4])
+
+    def test_single_vertex_is_path(self, tiny_net):
+        assert tiny_net.is_path([3])
+        assert tiny_net.path_length_m([3]) == 0.0
+
+
+class TestCsr:
+    def test_shape_and_cache(self, tiny_net):
+        m1 = tiny_net.to_csr()
+        assert m1.shape == (9, 9)
+        assert tiny_net.to_csr() is m1
+
+    def test_zero_length_edge_survives(self):
+        net = RoadNetwork([(0, 0), (0, 0.0001)], [(0, 1, 0.0)])
+        mat = net.to_csr()
+        assert mat[0, 1] > 0  # nudged, not dropped

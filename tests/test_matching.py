@@ -1,0 +1,177 @@
+"""Tests for passenger-taxi matching (candidate search + Algorithm 1)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.matching import Matcher, request_vector, taxi_vector, taxi_vector_with
+from repro.core.mobility_cluster import MobilityClusterIndex
+from repro.core.partition_filter import PartitionFilter
+from repro.core.routing import BasicRouter
+from repro.fleet.schedule import dropoff, pickup
+from repro.fleet.taxi import Taxi, build_route
+from repro.index.partition_index import PartitionTaxiIndex
+from repro.network.landmarks import LandmarkGraph
+from tests.conftest import make_request
+
+
+@pytest.fixture()
+def setup(tiny_net, tiny_engine):
+    """A matcher over the tiny grid partitioned by rows, plus helpers."""
+    lg = LandmarkGraph(tiny_net, [[0, 1, 2], [3, 4, 5], [6, 7, 8]], tiny_engine)
+    config = SystemConfig(search_range_m=500.0, num_partitions=3)
+    pindex = PartitionTaxiIndex(3)
+    cindex = MobilityClusterIndex(lam=config.lam)
+    router = BasicRouter(tiny_net, tiny_engine, PartitionFilter(lg))
+    matcher = Matcher(tiny_net, tiny_engine, lg, pindex, cindex, config, router)
+    return matcher, pindex, cindex, lg
+
+
+def trip(engine, origin, destination, rho=2.0, rid=0, release=0.0):
+    return make_request(
+        request_id=rid,
+        release_time=release,
+        origin=origin,
+        destination=destination,
+        direct_cost=engine.cost(origin, destination),
+        rho=rho,
+    )
+
+
+def idle_taxi(taxi_id, loc, pindex, lg, capacity=3):
+    taxi = Taxi(taxi_id=taxi_id, capacity=capacity, loc=loc)
+    pindex.place_idle_taxi(taxi_id, lg.partition_of(loc), 0.0)
+    return taxi
+
+
+class TestVectors:
+    def test_request_vector(self, tiny_net, tiny_engine):
+        r = trip(tiny_engine, 0, 8)
+        v = request_vector(tiny_net, r)
+        assert v.direction == (200.0, 200.0)
+
+    def test_taxi_vector_none_when_empty(self, tiny_net):
+        taxi = Taxi(taxi_id=0, capacity=3, loc=4)
+        assert taxi_vector(tiny_net, taxi, 0.0) is None
+
+    def test_taxi_vector_points_at_destination_centroid(self, tiny_net, tiny_engine):
+        taxi = Taxi(taxi_id=0, capacity=3, loc=0)
+        taxi.assign(trip(tiny_engine, 0, 2, rid=1))
+        taxi.assign(trip(tiny_engine, 0, 6, rid=2))
+        v = taxi_vector(tiny_net, taxi, 0.0)
+        # centroid of (200,0) and (0,200) is (100,100); origin (0,0)
+        assert v.direction == (100.0, 100.0)
+
+    def test_taxi_vector_with_includes_new_request(self, tiny_net, tiny_engine):
+        taxi = Taxi(taxi_id=0, capacity=3, loc=0)
+        r = trip(tiny_engine, 0, 8, rid=5)
+        v = taxi_vector_with(tiny_net, taxi, r, 0.0)
+        assert v.direction == (200.0, 200.0)
+
+
+class TestCandidateSearch:
+    def test_idle_taxi_in_disc_is_candidate(self, setup, tiny_engine):
+        matcher, pindex, _cindex, lg = setup
+        fleet = {0: idle_taxi(0, 0, pindex, lg)}
+        r = trip(tiny_engine, 1, 7)
+        assert [t.taxi_id for t in matcher.candidate_taxis(r, fleet, 0.0)] == [0]
+
+    def test_full_taxi_filtered(self, setup, tiny_engine):
+        matcher, pindex, _cindex, lg = setup
+        taxi = idle_taxi(0, 0, pindex, lg, capacity=1)
+        taxi.assign(trip(tiny_engine, 0, 2, rid=9))
+        fleet = {0: taxi}
+        r = trip(tiny_engine, 1, 7)
+        assert matcher.candidate_taxis(r, fleet, 0.0) == []
+
+    def test_unreachable_taxi_filtered(self, setup, tiny_engine):
+        matcher, pindex, _cindex, lg = setup
+        fleet = {0: idle_taxi(0, 8, pindex, lg)}
+        # rho barely above 1: nobody far away can make the pick-up.
+        r = trip(tiny_engine, 0, 2, rho=1.01)
+        assert matcher.candidate_taxis(r, fleet, 0.0) == []
+
+    def test_busy_taxi_needs_alignment(self, setup, tiny_engine, tiny_net):
+        matcher, pindex, cindex, lg = setup
+        # Busy taxi heading east along the top row.
+        taxi = Taxi(taxi_id=0, capacity=3, loc=6)
+        r_old = trip(tiny_engine, 6, 8, rid=50)
+        stops = [pickup(r_old), dropoff(r_old)]
+        route = build_route(6, 0.0, stops, tiny_engine.path, tiny_net.path_cost_s)
+        taxi.assign(r_old)
+        taxi.set_plan(stops, route)
+        pindex.update_taxi_from_route(0, route.nodes, route.times, lg.partition_of, 0.0)
+        cindex.update_taxi(0, taxi_vector(tiny_net, taxi, 0.0))
+        fleet = {0: taxi}
+
+        east = trip(tiny_engine, 6, 8, rid=1)
+        west = trip(tiny_engine, 8, 6, rid=2)
+        assert [t.taxi_id for t in matcher.candidate_taxis(east, fleet, 0.0)] == [0]
+        assert matcher.candidate_taxis(west, fleet, 0.0) == []
+
+
+class TestMatch:
+    def test_single_idle_taxi_matched(self, setup, tiny_engine, tiny_net):
+        matcher, pindex, _cindex, lg = setup
+        fleet = {0: idle_taxi(0, 0, pindex, lg)}
+        r = trip(tiny_engine, 1, 7)
+        result = matcher.match(r, fleet, 0.0)
+        assert result is not None
+        assert result.taxi_id == 0
+        assert result.num_candidates == 1
+        # Route serves pickup then dropoff.
+        assert [s.kind.value for s in result.stops] == ["pickup", "dropoff"]
+        assert tiny_net.is_path(list(result.route.nodes))
+
+    def test_picks_minimum_detour_taxi(self, setup, tiny_engine):
+        matcher, pindex, _cindex, lg = setup
+        near = idle_taxi(0, 1, pindex, lg)
+        far = idle_taxi(1, 8, pindex, lg)
+        fleet = {0: near, 1: far}
+        r = trip(tiny_engine, 1, 7)
+        result = matcher.match(r, fleet, 0.0)
+        assert result.taxi_id == 0  # zero deadhead wins
+
+    def test_no_candidates_returns_none(self, setup, tiny_engine):
+        matcher, _pindex, _cindex, _lg = setup
+        r = trip(tiny_engine, 1, 7)
+        assert matcher.match(r, {}, 0.0) is None
+
+    def test_detour_cost_reported(self, setup, tiny_engine):
+        matcher, pindex, _cindex, lg = setup
+        fleet = {0: idle_taxi(0, 1, pindex, lg)}
+        r = trip(tiny_engine, 1, 7)
+        result = matcher.match(r, fleet, 0.0)
+        assert result.detour_cost == pytest.approx(tiny_engine.cost(1, 7))
+
+    def test_shared_match_inserts_into_schedule(self, setup, tiny_engine, tiny_net):
+        matcher, pindex, cindex, lg = setup
+        taxi = Taxi(taxi_id=0, capacity=3, loc=0)
+        r_old = trip(tiny_engine, 0, 8, rid=50, rho=2.5)
+        stops = [pickup(r_old), dropoff(r_old)]
+        route = build_route(0, 0.0, stops, tiny_engine.path, tiny_net.path_cost_s)
+        taxi.assign(r_old)
+        taxi.set_plan(stops, route)
+        pindex.update_taxi_from_route(0, route.nodes, route.times, lg.partition_of, 0.0)
+        cindex.update_taxi(0, taxi_vector(tiny_net, taxi, 0.0))
+        fleet = {0: taxi}
+
+        # New rider along the same diagonal.
+        r = trip(tiny_engine, 4, 8, rid=1, rho=2.5)
+        result = matcher.match(r, fleet, 0.0)
+        assert result is not None
+        assert len(result.stops) == 4
+
+    def test_insertion_for_taxi_offline_path(self, setup, tiny_engine):
+        matcher, pindex, _cindex, lg = setup
+        taxi = idle_taxi(0, 1, pindex, lg)
+        r = trip(tiny_engine, 1, 7)
+        result = matcher.insertion_for_taxi(taxi, r, 0.0)
+        assert result is not None
+        assert result.num_candidates == 1
+
+    def test_insertion_for_full_taxi_is_none(self, setup, tiny_engine):
+        matcher, pindex, _cindex, lg = setup
+        taxi = idle_taxi(0, 1, pindex, lg, capacity=1)
+        taxi.assign(trip(tiny_engine, 1, 5, rid=9))
+        r = trip(tiny_engine, 1, 7)
+        assert matcher.insertion_for_taxi(taxi, r, 0.0) is None

@@ -1,0 +1,179 @@
+"""Tests for mobility vectors and the mobility-cluster index."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mobility_cluster import (
+    DEFAULT_LAMBDA,
+    MobilityClusterIndex,
+    MobilityVector,
+)
+
+
+def vec(ox, oy, dx, dy):
+    return MobilityVector(ox, oy, dx, dy)
+
+
+EAST = vec(0, 0, 100, 0)
+WEST = vec(0, 0, -100, 0)
+NORTH = vec(0, 0, 0, 100)
+NORTHEAST = vec(0, 0, 100, 100)
+
+
+class TestMobilityVector:
+    def test_direction(self):
+        assert vec(10, 20, 30, 50).direction == (20, 30)
+
+    def test_similarity_identical(self):
+        assert EAST.similarity(vec(5, 5, 105, 5)) == pytest.approx(1.0)
+
+    def test_similarity_opposite(self):
+        assert EAST.similarity(WEST) == pytest.approx(-1.0)
+
+    def test_similarity_orthogonal(self):
+        assert EAST.similarity(NORTH) == pytest.approx(0.0)
+
+    def test_is_aligned_threshold(self):
+        assert EAST.is_aligned(NORTHEAST, lam=0.707)  # 45 degrees exactly
+        assert not EAST.is_aligned(NORTH, lam=0.707)
+
+    def test_default_lambda_is_cos45(self):
+        assert DEFAULT_LAMBDA == pytest.approx(math.cos(math.radians(45)), abs=1e-3)
+
+
+class TestClusterIndexRequests:
+    def test_first_request_founds_cluster(self):
+        idx = MobilityClusterIndex()
+        cid = idx.add_request(1, EAST)
+        assert idx.num_clusters == 1
+        assert idx.cluster_of_request(1) == cid
+        assert idx.members_of(cid) == {1}
+
+    def test_aligned_request_joins(self):
+        idx = MobilityClusterIndex()
+        cid = idx.add_request(1, EAST)
+        cid2 = idx.add_request(2, vec(10, 0, 110, 10))
+        assert cid2 == cid
+        assert idx.members_of(cid) == {1, 2}
+
+    def test_misaligned_request_founds_new(self):
+        idx = MobilityClusterIndex()
+        idx.add_request(1, EAST)
+        idx.add_request(2, WEST)
+        assert idx.num_clusters == 2
+
+    def test_general_vector_is_mean(self):
+        idx = MobilityClusterIndex()
+        cid = idx.add_request(1, vec(0, 0, 100, 0))
+        idx.add_request(2, vec(20, 0, 120, 40))
+        gv = idx.general_vector(cid)
+        assert gv.ox == pytest.approx(10.0)
+        assert gv.dx == pytest.approx(110.0)
+        assert gv.dy == pytest.approx(20.0)
+
+    def test_duplicate_request_rejected(self):
+        idx = MobilityClusterIndex()
+        idx.add_request(1, EAST)
+        with pytest.raises(ValueError):
+            idx.add_request(1, EAST)
+
+    def test_remove_deletes_empty_cluster(self):
+        idx = MobilityClusterIndex()
+        idx.add_request(1, EAST)
+        idx.remove_request(1)
+        assert idx.num_clusters == 0
+        assert idx.cluster_of_request(1) is None
+        idx.remove_request(1)  # idempotent
+
+    def test_remove_keeps_nonempty_cluster(self):
+        idx = MobilityClusterIndex()
+        cid = idx.add_request(1, EAST)
+        idx.add_request(2, EAST)
+        idx.remove_request(1)
+        assert idx.members_of(cid) == {2}
+
+    def test_matching_clusters(self):
+        idx = MobilityClusterIndex()
+        east = idx.add_request(1, EAST)
+        idx.add_request(2, WEST)
+        assert idx.matching_clusters(vec(0, 0, 50, 5)) == [east]
+
+    def test_lambda_validation(self):
+        with pytest.raises(ValueError):
+            MobilityClusterIndex(lam=2.0)
+
+
+class TestClusterIndexTaxis:
+    def test_taxi_joins_best_cluster(self):
+        idx = MobilityClusterIndex()
+        east = idx.add_request(1, EAST)
+        idx.add_request(2, WEST)
+        assert idx.update_taxi(9, vec(0, 0, 80, 10)) == east
+        assert idx.taxi_list(east) == {9}
+        assert idx.cluster_of_taxi(9) == east
+
+    def test_unaligned_taxi_joins_nothing(self):
+        idx = MobilityClusterIndex()
+        idx.add_request(1, EAST)
+        assert idx.update_taxi(9, NORTH) is None
+        assert idx.cluster_of_taxi(9) is None
+        # but its vector is remembered for direct comparisons
+        assert idx.taxi_vector(9) is NORTH
+
+    def test_empty_taxi_removed(self):
+        idx = MobilityClusterIndex()
+        east = idx.add_request(1, EAST)
+        idx.update_taxi(9, EAST)
+        idx.update_taxi(9, None)
+        assert idx.taxi_list(east) == set()
+        assert idx.taxi_vector(9) is None
+
+    def test_taxi_reassigned_on_update(self):
+        idx = MobilityClusterIndex()
+        east = idx.add_request(1, EAST)
+        west = idx.add_request(2, WEST)
+        idx.update_taxi(9, EAST)
+        idx.update_taxi(9, WEST)
+        assert idx.taxi_list(east) == set()
+        assert idx.taxi_list(west) == {9}
+
+    def test_aligned_taxis_union(self):
+        idx = MobilityClusterIndex()
+        idx.add_request(1, EAST)
+        idx.add_request(2, vec(0, 0, 90, 30))
+        idx.update_taxi(7, EAST)
+        idx.update_taxi(8, WEST)
+        assert idx.aligned_taxis(EAST) == {7}
+
+    def test_cluster_death_unlinks_taxis(self):
+        idx = MobilityClusterIndex()
+        idx.add_request(1, EAST)
+        idx.update_taxi(9, EAST)
+        idx.remove_request(1)
+        assert idx.cluster_of_taxi(9) is None
+
+    def test_memory(self):
+        idx = MobilityClusterIndex()
+        idx.add_request(1, EAST)
+        idx.update_taxi(9, EAST)
+        assert idx.memory_bytes() > 0
+
+
+class TestClusterProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=-100, max_value=100),
+    ), min_size=1, max_size=25))
+    def test_every_request_in_exactly_one_cluster(self, directions):
+        idx = MobilityClusterIndex()
+        for i, (dx, dy) in enumerate(directions):
+            idx.add_request(i, vec(0, 0, dx, dy))
+        seen = set()
+        for cid in idx.cluster_ids():
+            members = idx.members_of(cid)
+            assert not (members & seen)
+            seen |= members
+        assert seen == set(range(len(directions)))

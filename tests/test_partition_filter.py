@@ -1,0 +1,69 @@
+"""Tests for partition filtering (Algorithm 2)."""
+
+import pytest
+
+from repro.core.partition_filter import PartitionFilter
+from repro.network.landmarks import LandmarkGraph
+
+
+@pytest.fixture(scope="module")
+def row_lg(tiny_net, tiny_engine):
+    """3x3 grid partitioned into its three rows."""
+    return LandmarkGraph(tiny_net, [[0, 1, 2], [3, 4, 5], [6, 7, 8]], tiny_engine)
+
+
+class TestFilter:
+    def test_same_partition(self, row_lg):
+        pf = PartitionFilter(row_lg)
+        assert pf.filter_partitions(1, 1) == [1]
+
+    def test_endpoints_always_retained(self, row_lg):
+        pf = PartitionFilter(row_lg, lam=0.999, epsilon=0.0)
+        retained = pf.filter_partitions(0, 2)
+        assert 0 in retained and 2 in retained
+
+    def test_on_the_way_partition_retained(self, row_lg):
+        pf = PartitionFilter(row_lg, lam=0.707, epsilon=1.0)
+        # Going from row 0 to row 2 passes row 1: direction is straight
+        # north and the cost via row 1's landmark equals the direct cost.
+        assert 1 in pf.filter_partitions(0, 2)
+
+    def test_cost_rule_excludes_detours(self, small_landmarks):
+        strict = PartitionFilter(small_landmarks, lam=-1.0, epsilon=0.0)
+        loose = PartitionFilter(small_landmarks, lam=-1.0, epsilon=10.0)
+        k = small_landmarks.num_partitions
+        for a in range(min(4, k)):
+            for b in range(min(4, k)):
+                if a == b:
+                    continue
+                assert set(strict.filter_partitions(a, b)) <= set(
+                    loose.filter_partitions(a, b)
+                )
+
+    def test_direction_rule_excludes_backwards(self, small_landmarks):
+        # With an extreme cost allowance, direction is the only filter:
+        # lam close to 1 keeps nearly nothing beyond the endpoints.
+        narrow = PartitionFilter(small_landmarks, lam=0.9999, epsilon=100.0)
+        wide = PartitionFilter(small_landmarks, lam=-1.0, epsilon=100.0)
+        k = small_landmarks.num_partitions
+        a, b = 0, k - 1
+        assert len(narrow.filter_partitions(a, b)) <= len(wide.filter_partitions(a, b))
+
+    def test_memoisation(self, row_lg):
+        pf = PartitionFilter(row_lg)
+        first = pf.filter_partitions(0, 2)
+        assert pf.filter_partitions(0, 2) is first
+        assert pf.cache_size() == 1
+        pf.clear_cache()
+        assert pf.cache_size() == 0
+
+    def test_filter_nodes_maps_to_partitions(self, row_lg):
+        pf = PartitionFilter(row_lg)
+        assert pf.filter_nodes(0, 8) == pf.filter_partitions(0, 2)
+
+    def test_allowed_vertices(self, row_lg):
+        pf = PartitionFilter(row_lg)
+        allowed = pf.allowed_vertices(0, 2)
+        assert {0, 1, 2, 6, 7, 8} <= set(allowed)
+        # memoised
+        assert pf.allowed_vertices(0, 2) is pf.allowed_vertices(0, 2)

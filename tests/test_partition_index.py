@@ -1,0 +1,98 @@
+"""Tests for the partition-based taxi index (P_z.L_t lists)."""
+
+import pytest
+
+from repro.index.partition_index import PartitionTaxiIndex
+
+
+class TestValidation:
+    def test_needs_partitions(self):
+        with pytest.raises(ValueError):
+            PartitionTaxiIndex(0)
+
+    def test_needs_positive_horizon(self):
+        with pytest.raises(ValueError):
+            PartitionTaxiIndex(3, horizon_s=0.0)
+
+
+class TestUpdates:
+    def test_update_and_query(self):
+        idx = PartitionTaxiIndex(4)
+        idx.update_taxi(7, {0: 100.0, 2: 250.0})
+        assert idx.taxis_in(0) == [(7, 100.0)]
+        assert idx.taxi_ids_in(2) == {7}
+        assert idx.arrival_time(2, 7) == 250.0
+        assert idx.arrival_time(1, 7) is None
+        assert idx.partitions_of(7) == {0, 2}
+
+    def test_update_replaces(self):
+        idx = PartitionTaxiIndex(4)
+        idx.update_taxi(7, {0: 100.0})
+        idx.update_taxi(7, {3: 50.0})
+        assert idx.taxis_in(0) == []
+        assert idx.taxis_in(3) == [(7, 50.0)]
+
+    def test_remove(self):
+        idx = PartitionTaxiIndex(2)
+        idx.update_taxi(1, {0: 5.0})
+        idx.remove_taxi(1)
+        assert idx.taxis_in(0) == []
+        assert idx.partitions_of(1) == set()
+        idx.remove_taxi(42)  # unknown: no-op
+
+    def test_sorted_by_arrival(self):
+        idx = PartitionTaxiIndex(1)
+        idx.update_taxi(1, {0: 30.0})
+        idx.update_taxi(2, {0: 10.0})
+        idx.update_taxi(3, {0: 20.0})
+        assert [t for t, _a in idx.taxis_in(0)] == [2, 3, 1]
+
+    def test_place_idle(self):
+        idx = PartitionTaxiIndex(3)
+        idx.place_idle_taxi(9, 1, now=42.0)
+        assert idx.taxis_in(1) == [(9, 42.0)]
+
+    def test_union(self):
+        idx = PartitionTaxiIndex(3)
+        idx.update_taxi(1, {0: 1.0})
+        idx.update_taxi(2, {1: 1.0})
+        idx.update_taxi(3, {0: 1.0, 2: 2.0})
+        assert idx.union_taxis([0, 1]) == {1, 2, 3}
+        assert idx.union_taxis([2]) == {3}
+        assert idx.union_taxis([]) == set()
+
+
+class TestFromRoute:
+    def test_first_arrival_per_partition(self):
+        idx = PartitionTaxiIndex(3, horizon_s=1000.0)
+        partition_of = {0: 0, 1: 0, 2: 1, 3: 2}.__getitem__
+        idx.update_taxi_from_route(
+            5,
+            route_nodes=[0, 1, 2, 3],
+            route_times=[0.0, 10.0, 20.0, 30.0],
+            partition_of=partition_of,
+            now=0.0,
+        )
+        assert idx.arrival_time(0, 5) == 0.0   # first visit, not 10.0
+        assert idx.arrival_time(1, 5) == 20.0
+        assert idx.arrival_time(2, 5) == 30.0
+
+    def test_horizon_truncates(self):
+        idx = PartitionTaxiIndex(2, horizon_s=15.0)
+        partition_of = {0: 0, 1: 1}.__getitem__
+        idx.update_taxi_from_route(
+            1, [0, 1], [0.0, 100.0], partition_of, now=0.0
+        )
+        assert idx.arrival_time(1, 1) is None
+
+    def test_past_times_clamped_to_now(self):
+        idx = PartitionTaxiIndex(1)
+        idx.update_taxi_from_route(1, [0], [5.0], lambda v: 0, now=50.0)
+        assert idx.arrival_time(0, 1) == 50.0
+
+    def test_total_entries_and_memory(self):
+        idx = PartitionTaxiIndex(3)
+        idx.update_taxi(1, {0: 1.0, 1: 2.0})
+        idx.update_taxi(2, {2: 3.0})
+        assert idx.total_entries() == 3
+        assert idx.memory_bytes() > 0

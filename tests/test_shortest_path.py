@@ -1,0 +1,140 @@
+"""Tests for the shortest-path engines and the restricted Dijkstra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.graph import RoadNetwork
+from repro.network.shortest_path import (
+    PathNotFound,
+    ShortestPathEngine,
+    dijkstra_restricted,
+)
+
+
+@pytest.fixture(scope="module")
+def lazy_engine(small_net):
+    return ShortestPathEngine(small_net, mode="lazy", cache_size=8)
+
+
+class TestEngineBasics:
+    def test_zero_distance_to_self(self, tiny_engine):
+        assert tiny_engine.distance_m(4, 4) == 0.0
+        assert tiny_engine.path(4, 4) == [4]
+
+    def test_grid_distance(self, tiny_engine):
+        # 0 -> 8 needs 4 hops of 100 m on the 3x3 grid.
+        assert tiny_engine.distance_m(0, 8) == pytest.approx(400.0)
+
+    def test_cost_is_distance_over_speed(self, tiny_engine, tiny_net):
+        assert tiny_engine.cost(0, 2) == pytest.approx(200.0 / tiny_net.speed_mps)
+
+    def test_path_is_valid_and_shortest(self, tiny_engine, tiny_net):
+        path = tiny_engine.path(0, 8)
+        assert path[0] == 0 and path[-1] == 8
+        assert tiny_net.is_path(path)
+        assert tiny_net.path_length_m(path) == pytest.approx(tiny_engine.distance_m(0, 8))
+
+    def test_unreachable(self):
+        net = RoadNetwork([(0, 0), (100, 0)], [(0, 1)])  # one way only
+        eng = ShortestPathEngine(net)
+        assert eng.distance_m(1, 0) == np.inf
+        assert not eng.reachable(1, 0)
+        with pytest.raises(PathNotFound):
+            eng.path(1, 0)
+
+    def test_mode_validation(self, tiny_net):
+        with pytest.raises(ValueError):
+            ShortestPathEngine(tiny_net, mode="bogus")
+
+    def test_distances_from_vector(self, tiny_engine):
+        dist = tiny_engine.distances_from(0)
+        assert dist.shape == (9,)
+        assert dist[0] == 0.0
+        assert dist[8] == pytest.approx(400.0)
+
+    def test_eccentricity(self, tiny_engine):
+        assert tiny_engine.eccentricity_m(0) == pytest.approx(400.0)
+
+    def test_memory_reported(self, tiny_engine):
+        assert tiny_engine.memory_bytes() > 0
+
+
+class TestLazyMode:
+    def test_matches_full_mode(self, small_net, small_engine, lazy_engine):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            u, v = rng.integers(0, small_net.num_vertices, size=2)
+            assert lazy_engine.distance_m(int(u), int(v)) == pytest.approx(
+                small_engine.distance_m(int(u), int(v))
+            )
+
+    def test_cache_eviction(self, small_net):
+        eng = ShortestPathEngine(small_net, mode="lazy", cache_size=2)
+        for source in range(5):
+            eng.distances_from(source)
+        assert len(eng._lazy) <= 2
+
+    def test_paths_valid(self, small_net, lazy_engine):
+        path = lazy_engine.path(0, small_net.num_vertices - 1)
+        assert small_net.is_path(path)
+
+    def test_auto_mode_selects_full_for_small(self, tiny_net):
+        assert ShortestPathEngine(tiny_net, mode="auto").mode == "full"
+
+
+class TestDijkstraRestricted:
+    def test_unrestricted_matches_engine(self, tiny_net, tiny_engine):
+        cost, path = dijkstra_restricted(tiny_net, 0, 8)
+        assert cost == pytest.approx(tiny_engine.cost(0, 8))
+        assert tiny_net.is_path(path)
+
+    def test_allowed_set_respected(self, tiny_net):
+        # Only the top row detour is allowed: 0-3-6-7-8.
+        allowed = {0, 3, 6, 7, 8}
+        _cost, path = dijkstra_restricted(tiny_net, 0, 8, allowed)
+        assert set(path) <= allowed
+
+    def test_endpoints_always_admitted(self, tiny_net):
+        # Target admitted even if not listed in `allowed`.
+        _cost, path = dijkstra_restricted(tiny_net, 0, 2, allowed={0, 1})
+        assert path == [0, 1, 2]
+
+    def test_disconnection_raises(self, tiny_net):
+        with pytest.raises(PathNotFound):
+            dijkstra_restricted(tiny_net, 0, 8, allowed={0, 8})
+
+    def test_vertex_weights_steer(self, tiny_net):
+        # Two equal-cost 0->2 alternatives exist via 1; penalise vertex 1
+        # heavily and the path must avoid it.
+        heavy = {1: 1e6}
+        _cost, path = dijkstra_restricted(tiny_net, 0, 2, vertex_weight=heavy)
+        assert 1 not in path
+
+    def test_vertex_weight_callable(self, tiny_net):
+        _cost, path = dijkstra_restricted(
+            tiny_net, 0, 2, vertex_weight=lambda v: 1e6 if v == 1 else 0.0
+        )
+        assert 1 not in path
+
+    def test_weighted_cost_includes_weights(self, tiny_net):
+        base_cost, _ = dijkstra_restricted(tiny_net, 0, 2)
+        w_cost, _ = dijkstra_restricted(tiny_net, 0, 2, vertex_weight={5: 7.5, 2: 2.5})
+        # 0->1->2 avoids 5; weight on target 2 still applies.
+        assert w_cost == pytest.approx(base_cost + 2.5)
+
+    def test_source_equals_target(self, tiny_net):
+        cost, path = dijkstra_restricted(tiny_net, 3, 3)
+        assert cost == 0.0
+        assert path == [3]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=8), st.integers(min_value=0, max_value=8))
+    def test_matches_engine_everywhere(self, u, v):
+        from repro.network.generators import small_test_network
+
+        net = small_test_network()
+        eng = ShortestPathEngine(net)
+        cost, path = dijkstra_restricted(net, u, v)
+        assert cost == pytest.approx(eng.cost(u, v))
+        assert net.is_path(path)

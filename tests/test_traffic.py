@@ -1,0 +1,90 @@
+"""Tests for the traffic-condition extension."""
+
+import pytest
+
+from repro.network.traffic import (
+    TrafficModel,
+    chengdu_weekend,
+    chengdu_workday,
+    free_flow,
+)
+from repro.sim.scenario import ScenarioSpec, get_scenario
+
+
+class TestTrafficModel:
+    def test_needs_24_factors(self):
+        with pytest.raises(ValueError):
+            TrafficModel(factors=(1.0,) * 23)
+
+    def test_positive_factors(self):
+        bad = [1.0] * 24
+        bad[3] = 0.0
+        with pytest.raises(ValueError):
+            TrafficModel(factors=tuple(bad))
+
+    def test_factor_lookup(self):
+        model = chengdu_workday()
+        assert model.factor_at_hour(8) == 0.65
+        assert model.factor_at_hour(3) == 1.0
+        assert model.factor_at_hour(32) == model.factor_at_hour(8)  # wraps
+
+    def test_factor_at_time(self):
+        model = chengdu_workday()
+        assert model.factor_at_time(8 * 3600.0 + 10.0) == 0.65
+        assert model.factor_at_time((24 + 8) * 3600.0) == 0.65
+
+    def test_speed_scaling(self):
+        model = chengdu_workday()
+        assert model.speed_at_hour(10.0, 8) == pytest.approx(6.5)
+
+    def test_free_flow_identity(self):
+        model = free_flow()
+        assert all(model.factor_at_hour(h) == 1.0 for h in range(24))
+
+    def test_weekend_has_no_morning_peak(self):
+        weekend = chengdu_weekend()
+        workday = chengdu_workday()
+        assert weekend.factor_at_hour(8) > workday.factor_at_hour(8)
+
+    def test_apply_rescales_costs(self, tiny_net):
+        model = chengdu_workday()
+        congested = model.apply(tiny_net, hour=8)
+        assert congested.num_vertices == tiny_net.num_vertices
+        assert congested.num_edges == tiny_net.num_edges
+        assert congested.edge_length(0, 1) == pytest.approx(tiny_net.edge_length(0, 1))
+        assert congested.edge_cost(0, 1) == pytest.approx(tiny_net.edge_cost(0, 1) / 0.65)
+
+
+class TestCongestedScenario:
+    def test_congestion_validated(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(congestion=0.0)
+
+    def test_congested_scenario_slower_trips(self):
+        base_kwargs = dict(
+            grid_rows=10, grid_cols=10, hourly_requests=120,
+            history_days=2, num_partitions=9, seed=2,
+        )
+        free = get_scenario(ScenarioSpec(**base_kwargs))
+        jammed = get_scenario(ScenarioSpec(congestion=0.7, **base_kwargs))
+        assert jammed.network.speed_mps == pytest.approx(free.network.speed_mps * 0.7)
+        # Same OD pair costs more time under congestion.
+        r_free = free.requests()[0]
+        assert jammed.engine.cost(r_free.origin, r_free.destination) > free.engine.cost(
+            r_free.origin, r_free.destination
+        )
+
+    def test_congested_simulation_runs(self):
+        from repro.sim.engine import Simulator
+
+        spec = ScenarioSpec(
+            grid_rows=10, grid_cols=10, hourly_requests=120,
+            history_days=2, num_partitions=9, congestion=0.7, seed=2,
+        )
+        scenario = get_scenario(spec)
+        metrics = Simulator(
+            scenario.make_scheme("mt-share"),
+            scenario.make_fleet(10),
+            scenario.requests(),
+        ).run()
+        assert metrics.served > 0

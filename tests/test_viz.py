@@ -1,0 +1,81 @@
+"""Tests for the SVG rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro import viz
+
+
+class TestRenderNetwork:
+    def test_valid_svg(self, tiny_net):
+        svg = viz.render_network(tiny_net)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "<line" in svg
+        assert "<circle" in svg
+
+    def test_title_rendered(self, tiny_net):
+        svg = viz.render_network(tiny_net, title="my city")
+        assert "my city" in svg
+
+    def test_each_undirected_edge_once(self, tiny_net):
+        svg = viz.render_network(tiny_net)
+        # 12 undirected grid edges -> 12 line elements
+        assert svg.count("<line") == 12
+
+
+class TestRenderPartitions:
+    def test_colors_vertices(self, small_net, small_partitioning):
+        svg = viz.render_partitions(small_net, small_partitioning)
+        assert svg.count("<circle") == small_net.num_vertices
+        # At least two distinct palette colours appear.
+        used = {c for c in viz.PALETTE if c in svg}
+        assert len(used) >= 2
+
+    def test_default_title_mentions_method(self, small_net, small_partitioning):
+        svg = viz.render_partitions(small_net, small_partitioning)
+        assert "bipartite" in svg
+
+
+class TestRenderRoutes:
+    def test_routes_drawn(self, tiny_net, tiny_engine):
+        path = tiny_engine.path(0, 8)
+        svg = viz.render_routes(tiny_net, [path], markers=[0, 8])
+        assert "<polyline" in svg
+        assert svg.count("<polyline") == 1
+
+    def test_multiple_routes_different_colors(self, tiny_net, tiny_engine):
+        svg = viz.render_routes(
+            tiny_net, [tiny_engine.path(0, 8), tiny_engine.path(2, 6)]
+        )
+        assert svg.count("<polyline") == 2
+        assert viz.PALETTE[0] in svg and viz.PALETTE[1] in svg
+
+    def test_single_vertex_route_no_polyline(self, tiny_net):
+        svg = viz.render_routes(tiny_net, [[4]])
+        assert "<polyline" not in svg
+
+
+class TestRenderDemand:
+    def test_heat_dots_scale(self, tiny_net):
+        counts = np.zeros(9)
+        counts[4] = 10
+        counts[0] = 1
+        svg = viz.render_demand(tiny_net, counts)
+        assert svg.count('fill="#e15759"') == 2  # only nonzero vertices
+
+    def test_shape_validated(self, tiny_net):
+        with pytest.raises(ValueError):
+            viz.render_demand(tiny_net, np.zeros(5))
+
+    def test_all_zero_demand(self, tiny_net):
+        svg = viz.render_demand(tiny_net, np.zeros(9))
+        assert "<svg" in svg
+
+
+class TestSave:
+    def test_save_writes_file(self, tiny_net, tmp_path):
+        svg = viz.render_network(tiny_net)
+        out = viz.save(svg, tmp_path / "net.svg")
+        assert out.exists()
+        assert out.read_text() == svg
