@@ -6,8 +6,6 @@ fleet serves fewer requests; the schemes' relative ordering should be
 insensitive to the congestion level.
 """
 
-import pytest
-
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import RunKey, run
 

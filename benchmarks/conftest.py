@@ -13,6 +13,7 @@ the default ``quick`` scale keeps the whole suite to a few minutes.
 import pytest
 
 from repro.experiments import bench_scale
+from repro.experiments.runner import collect_observability
 
 
 @pytest.fixture(scope="session")
@@ -23,5 +24,9 @@ def scale():
 def run_figure(benchmark, fn, scale):
     """Execute a figure function once under pytest-benchmark and print it."""
     result = benchmark.pedantic(fn, args=(scale,), rounds=1, iterations=1)
+    # Per-stage dispatch timings + counters for the runs this figure
+    # consumed (cumulative across the memoised run cache), persisted in
+    # the pytest-benchmark JSON output.
+    benchmark.extra_info["observability"] = collect_observability()
     result.print()
     return result

@@ -17,6 +17,7 @@ from ..fleet.schedule import arrival_times, capacity_ok, deadlines_met, enumerat
 from ..fleet.taxi import Taxi
 from ..network.graph import RoadNetwork
 from ..network.shortest_path import ShortestPathEngine
+from ..obs import NULL, Instrumentation
 from ..core.routing import BasicRouter, RouteInfeasible
 
 
@@ -49,6 +50,7 @@ class DispatchScheme(abc.ABC):
         self._fleet: dict[int, Taxi] = {}
         self._fallback_router = BasicRouter(network, engine, None)
         self._prob_router = None
+        self._obs: Instrumentation = NULL
 
     # ------------------------------------------------------------------
     @property
@@ -70,6 +72,24 @@ class DispatchScheme(abc.ABC):
     def fleet(self) -> dict[int, Taxi]:
         """The registered taxis, by id."""
         return self._fleet
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def instrument(self, obs: Instrumentation) -> None:
+        """Attach an observability registry and propagate it downstream.
+
+        The simulator calls this once before the run; subclasses extend
+        it to cover their own matchers/routers/indexes.
+        """
+        self._obs = obs
+        self._fallback_router.instrument(obs)
+        if self._prob_router is not None:
+            self._prob_router.instrument(obs)
+
+    def collect_observability(self, obs: Instrumentation) -> None:
+        """Report end-of-run gauges (index sizes, fallback tallies)."""
+        obs.gauge("route.fallbacks_total", self._fallback_router.fallbacks)
 
     # ------------------------------------------------------------------
     # lifecycle hooks
@@ -140,7 +160,9 @@ class DispatchScheme(abc.ABC):
         cost_fn = self._engine.cost
 
         best: tuple[float, list] | None = None
+        evaluated = 0
         for _i, _j, stops in enumerate_insertions(pending, request):
+            evaluated += 1
             if not capacity_ok(stops, taxi.occupancy, taxi.capacity):
                 continue
             times = arrival_times(node, ready, stops, cost_fn)
@@ -149,6 +171,7 @@ class DispatchScheme(abc.ABC):
             detour = (times[-1] - ready) - current_cost
             if best is None or detour < best[0]:
                 best = (detour, stops)
+        self._obs.count("match.insertions_evaluated", evaluated)
         if best is None:
             return None
         detour, stops = best

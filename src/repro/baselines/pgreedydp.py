@@ -83,20 +83,23 @@ class PGreedyDP(DispatchScheme):
 
     def dispatch(self, request: RideRequest, now: float) -> MatchResult | None:
         """Greedy assignment: the candidate with the global minimum detour."""
-        candidates = self._candidates(request, now)
+        with self._obs.stage("match.candidates"):
+            candidates = self._candidates(request, now)
+        self._obs.count("match.candidates_found", len(candidates))
         self.last_candidate_count = len(candidates)
         best_taxi: Taxi | None = None
         best_detour = float("inf")
         best_stops: list | None = None
-        for taxi in candidates:
-            found = self._min_detour_insertion(taxi, request, now)
-            if found is None:
-                continue
-            detour, stops = found
-            if detour < best_detour:
-                best_detour = detour
-                best_stops = stops
-                best_taxi = taxi
+        with self._obs.stage("match.insertion"):
+            for taxi in candidates:
+                found = self._min_detour_insertion(taxi, request, now)
+                if found is None:
+                    continue
+                detour, stops = found
+                if detour < best_detour:
+                    best_detour = detour
+                    best_stops = stops
+                    best_taxi = taxi
         if best_taxi is None:
             return None
         node, ready = best_taxi.position_at(now)

@@ -104,13 +104,16 @@ class TShare(DispatchScheme):
 
     def dispatch(self, request: RideRequest, now: float) -> MatchResult | None:
         """Return the *first* candidate with a feasible insertion."""
-        candidates = self._dual_side_candidates(request, now)
+        with self._obs.stage("match.candidates"):
+            candidates = self._dual_side_candidates(request, now)
+        self._obs.count("match.candidates_found", len(candidates))
         self.last_candidate_count = len(candidates)
         for taxi in candidates[: self.max_examined]:
             node, ready = taxi.position_at(now)
             if ready + self._engine.cost(node, request.origin) > request.pickup_deadline:
                 continue
-            found = self._first_feasible_insertion(taxi, request, now)
+            with self._obs.stage("match.insertion"):
+                found = self._first_feasible_insertion(taxi, request, now)
             if found is None:
                 continue
             detour, stops, node, ready = found

@@ -19,6 +19,7 @@ import sys
 from .core.payment import PaymentModel
 from .experiments.ablations import ALL_ABLATIONS
 from .experiments.figures import ALL_EXPERIMENTS
+from .experiments.reporting import observability_table
 from .experiments.runner import bench_scale
 from .sim.engine import Simulator
 from .sim.scenario import SCHEME_NAMES, ScenarioSpec, get_scenario
@@ -45,6 +46,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--congestion", type=float, default=1.0,
                      help="speed factor; < 1 slows traffic")
     sim.add_argument("--seed", type=int, default=7)
+    sim.add_argument("--trace", metavar="PATH", default=None,
+                     help="append a structured JSONL event trace (stage "
+                          "timings, dispatches, offline encounters) to PATH")
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(list(ALL_EXPERIMENTS) + list(ALL_ABLATIONS)))
@@ -73,9 +77,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"Simulating {scheme.name}: {len(requests)} requests, "
         f"{args.taxis} taxis, {scenario.network.num_vertices} vertices"
     )
-    metrics = Simulator(scheme, fleet, requests, payment=PaymentModel()).run()
+    try:
+        sim = Simulator(
+            scheme, fleet, requests, payment=PaymentModel(), trace_path=args.trace
+        )
+    except OSError as exc:
+        print(f"error: cannot open trace file: {exc}", file=sys.stderr)
+        return 2
+    metrics = sim.run()
     for key, value in metrics.summary().items():
         print(f"  {key:18s} {value}")
+    table = observability_table(metrics)
+    if table is not None:
+        table.print()
+    if args.trace:
+        print(f"\nJSONL event trace written to {args.trace}")
     return 0
 
 

@@ -65,6 +65,18 @@ class SystemConfig:
         enables the mode.
     max_probabilistic_attempts:
         Retry cap of Algorithm 4 (paper: 5).
+    match_planning_cutoff:
+        Algorithm 1 plans concrete routes for candidates lazily, in
+        ascending order of their O(1)-estimated detour, and keeps the
+        minimum *actual* route detour.  Because a planned route can
+        never beat its own shortest-path estimate, planning stops as
+        soon as the next estimate cannot beat the incumbent; this
+        cutoff additionally bounds the number of successfully planned
+        candidates examined after a winner exists, capping worst-case
+        planning work per dispatch.  With a full all-pairs cache basic
+        routes equal their estimates and the loop exits after one plan,
+        so the cutoff only matters for probabilistic or lazily-routed
+        configurations.
     prob_steering_m:
         Probability-vs-detour trade-off of probabilistic routing: the
         maximum per-vertex preference (expressed as metres of travel)
@@ -100,6 +112,7 @@ class SystemConfig:
     baseline_grid_cell_m: float = 0.0
     probabilistic_idle_seats: float = 0.5
     max_probabilistic_attempts: int = 5
+    match_planning_cutoff: int = 4
     prob_steering_m: float = 120.0
     enable_cruising: bool = True
     use_demand_prediction: bool = False
@@ -117,6 +130,8 @@ class SystemConfig:
             raise ValueError("lambda must be a cosine in [-1, 1]")
         if self.epsilon < 0:
             raise ValueError("epsilon must be non-negative")
+        if self.match_planning_cutoff < 1:
+            raise ValueError("match_planning_cutoff must be >= 1")
 
     def replace(self, **changes) -> "SystemConfig":
         """A copy with the given fields changed."""

@@ -17,7 +17,12 @@ Schedule instances are evaluated with O(1) cached shortest-path costs
 (the paper's stated assumption); the concrete route of each candidate's
 best instance is then planned by the configured router — basic or
 probabilistic — and the final winner is chosen by *actual* route
-detour, so probabilistic detours are fully accounted for.
+detour, so probabilistic detours are fully accounted for.  Routes are
+planned lazily in ascending estimated-detour order: since a planned
+route can never undercut its own shortest-path estimate, planning stops
+once the next estimate cannot beat the best actual detour found (and,
+as a hard bound, after ``config.match_planning_cutoff`` successfully
+planned candidates once a winner exists).
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from ..index.partition_index import PartitionTaxiIndex
 from ..network.graph import RoadNetwork
 from ..network.landmarks import LandmarkGraph
 from ..network.shortest_path import ShortestPathEngine
+from ..obs import NULL, Instrumentation
 from .mobility_cluster import MobilityClusterIndex, MobilityVector
 from .routing import BasicRouter, RouteInfeasible
 
@@ -119,6 +125,11 @@ class Matcher:
         self._config = config
         self._basic = basic_router
         self._prob = probabilistic_router
+        self._obs: Instrumentation = NULL
+
+    def instrument(self, obs: Instrumentation) -> None:
+        """Attach an observability registry (``repro.obs``)."""
+        self._obs = obs
 
     # ------------------------------------------------------------------
     # candidate searching
@@ -198,7 +209,9 @@ class Matcher:
         cost_fn = self._engine.cost
 
         best: tuple[float, list[Stop]] | None = None
+        evaluated = 0
         for _i, _j, stops in enumerate_insertions(pending, request):
+            evaluated += 1
             if not capacity_ok(stops, onboard, taxi.capacity):
                 continue
             times = arrival_times(node, ready, stops, cost_fn)
@@ -207,6 +220,8 @@ class Matcher:
             detour = (times[-1] - ready) - current_cost
             if best is None or detour < best[0]:
                 best = (detour, stops)
+        # One bulk counter update per candidate, not per instance.
+        self._obs.count("match.insertions_evaluated", evaluated)
         return best
 
     def _should_go_probabilistic(self, taxi: Taxi, request: RideRequest) -> bool:
@@ -230,46 +245,69 @@ class Matcher:
 
         Returns ``None`` when no taxi can feasibly serve the request.
         """
-        candidates = self.candidate_taxis(request, fleet, now)
+        obs = self._obs
+        with obs.stage("match.candidates"):
+            candidates = self.candidate_taxis(request, fleet, now)
+        obs.count("match.candidates_found", len(candidates))
         if not candidates:
             return None
 
         # Evaluate every candidate's best insertion with O(1) cached
-        # costs, then plan concrete routes lazily in detour order: the
-        # first candidate whose route survives planning is the winner.
-        scored: list[tuple[float, Taxi, list[Stop]]] = []
-        for taxi in candidates:
-            best = self._best_insertion(taxi, request, now)
-            if best is not None:
-                scored.append((best[0], taxi, best[1]))
-        scored.sort(key=lambda item: (item[0], item[1].taxi_id))
+        # costs.
+        with obs.stage("match.insertion"):
+            scored: list[tuple[float, Taxi, list[Stop]]] = []
+            for taxi in candidates:
+                best = self._best_insertion(taxi, request, now)
+                if best is not None:
+                    scored.append((best[0], taxi, best[1]))
+            scored.sort(key=lambda item: (item[0], item[1].taxi_id))
 
-        for est_detour, taxi, stops in scored:
-            node, ready = taxi.position_at(now)
-            use_prob = self._should_go_probabilistic(taxi, request)
-            route = None
-            if use_prob:
-                vec = taxi_vector_with(self._network, taxi, request, now)
-                try:
-                    route = self._prob.route_for_schedule(node, ready, stops, taxi_vector=vec)
-                except RouteInfeasible:
-                    use_prob = False
-            if route is None:
-                try:
-                    route = self._basic.route_for_schedule(node, ready, stops)
-                    use_prob = False
-                except RouteInfeasible:
-                    continue
-            actual_detour = route.total_cost() - taxi.remaining_route_cost(ready)
-            return MatchResult(
-                taxi_id=taxi.taxi_id,
-                stops=tuple(stops),
-                route=route,
-                detour_cost=actual_detour,
-                num_candidates=len(candidates),
-                probabilistic=use_prob,
-            )
-        return None
+        # Plan concrete routes lazily in estimated-detour order and keep
+        # the minimum *actual* route detour.  A planned route's legs are
+        # at best shortest paths, so actual >= estimate per candidate:
+        # once the next estimate cannot beat the incumbent's actual
+        # detour, no later candidate can win and planning stops.  The
+        # configured cutoff additionally bounds how many successfully
+        # planned candidates are examined after a winner exists.
+        cutoff = self._config.match_planning_cutoff
+        best_result: MatchResult | None = None
+        planned = 0
+        with obs.stage("match.planning"):
+            for est_detour, taxi, stops in scored:
+                if best_result is not None and (
+                    est_detour >= best_result.detour_cost - 1e-9 or planned >= cutoff
+                ):
+                    break
+                node, ready = taxi.position_at(now)
+                use_prob = self._should_go_probabilistic(taxi, request)
+                route = None
+                if use_prob:
+                    vec = taxi_vector_with(self._network, taxi, request, now)
+                    try:
+                        route = self._prob.route_for_schedule(
+                            node, ready, stops, taxi_vector=vec
+                        )
+                    except RouteInfeasible:
+                        use_prob = False
+                if route is None:
+                    try:
+                        route = self._basic.route_for_schedule(node, ready, stops)
+                        use_prob = False
+                    except RouteInfeasible:
+                        continue
+                planned += 1
+                actual_detour = route.total_cost() - taxi.remaining_route_cost(ready)
+                if best_result is None or actual_detour < best_result.detour_cost:
+                    best_result = MatchResult(
+                        taxi_id=taxi.taxi_id,
+                        stops=tuple(stops),
+                        route=route,
+                        detour_cost=actual_detour,
+                        num_candidates=len(candidates),
+                        probabilistic=use_prob,
+                    )
+        obs.count("match.routes_planned", planned)
+        return best_result
 
     def insertion_for_taxi(
         self,

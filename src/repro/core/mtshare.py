@@ -121,6 +121,26 @@ class MTShare(DispatchScheme):
         return self._prob_router is not None
 
     # ------------------------------------------------------------------
+    def instrument(self, obs) -> None:
+        """Attach observability to the matcher and both routers."""
+        super().instrument(obs)
+        self._basic_router.instrument(obs)
+        if self._prob_router is not None:
+            self._prob_router.instrument(obs)
+        self._matcher.instrument(obs)
+
+    def collect_observability(self, obs) -> None:
+        """End-of-run index gauges (Table IV's structures, live sizes)."""
+        super().collect_observability(obs)
+        fallbacks = self._fallback_router.fallbacks + self._basic_router.fallbacks
+        if self._prob_router is not None:
+            fallbacks += self._prob_router.fallbacks
+        obs.gauge("route.fallbacks_total", fallbacks)
+        obs.gauge("index.partition_entries", self._pindex.total_entries())
+        obs.gauge("index.clusters", self._cindex.num_clusters)
+        obs.gauge("index.memory_bytes", self.index_memory_bytes())
+
+    # ------------------------------------------------------------------
     def _index_taxi(self, taxi: Taxi, now: float) -> None:
         """Refresh both index views for one taxi.
 

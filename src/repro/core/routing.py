@@ -30,6 +30,7 @@ from ..fleet.taxi import TaxiRoute
 from ..network.geo import cosine_similarity
 from ..network.graph import RoadNetwork
 from ..network.shortest_path import PathNotFound, ShortestPathEngine, dijkstra_restricted
+from ..obs import NULL, Instrumentation
 from ..partitioning.transition import TransitionModel
 from .mobility_cluster import MobilityVector
 from .partition_filter import PartitionFilter
@@ -96,6 +97,11 @@ class BasicRouter:
         self._engine = engine
         self._filter = partition_filter
         self.fallbacks = 0  # legs where filtering had to be bypassed
+        self._obs: Instrumentation = NULL
+
+    def instrument(self, obs: Instrumentation) -> None:
+        """Attach an observability registry (``repro.obs``)."""
+        self._obs = obs
 
     @property
     def network(self) -> RoadNetwork:
@@ -139,6 +145,7 @@ class BasicRouter:
                 return path
             except PathNotFound:
                 self.fallbacks += 1
+                self._obs.count("route.fallback_legs")
         return self._engine.path(u, v)
 
     def route_for_schedule(
@@ -156,6 +163,15 @@ class BasicRouter:
         Raises :class:`RouteInfeasible` when any stop deadline cannot
         be met along the produced route.
         """
+        with self._obs.stage("route.basic"):
+            return self._plan_basic(start_node, start_time, stops)
+
+    def _plan_basic(
+        self,
+        start_node: int,
+        start_time: float,
+        stops: Sequence[Stop],
+    ) -> TaxiRoute:
         legs = []
         node = start_node
         for stop in stops:
@@ -169,6 +185,7 @@ class BasicRouter:
         # streets cut by the partition boundary); retry with exact
         # shortest paths before declaring the schedule infeasible.
         self.fallbacks += 1
+        self._obs.count("route.fallback_routes")
         legs = []
         node = start_node
         for stop in stops:
@@ -475,6 +492,16 @@ class ProbabilisticRouter(BasicRouter):
         """
         if taxi_vector is None:
             return super().route_for_schedule(start_node, start_time, stops)
+        with self._obs.stage("route.probabilistic"):
+            return self._plan_probabilistic(start_node, start_time, stops, taxi_vector)
+
+    def _plan_probabilistic(
+        self,
+        start_node: int,
+        start_time: float,
+        stops: Sequence[Stop],
+        taxi_vector: MobilityVector,
+    ) -> TaxiRoute:
         direction = taxi_vector.direction
         lg = self._filter.landmark_graph
 

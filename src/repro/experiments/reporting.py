@@ -67,3 +67,57 @@ def _fmt(v) -> str:
     if isinstance(v, float):
         return f"{v:.2f}"
     return str(v)
+
+
+#: Counters worth surfacing in the observability table's notes, with
+#: human-readable labels (see docs/OBSERVABILITY.md for the vocabulary).
+_HEADLINE_COUNTERS = (
+    ("match.candidates_found", "candidate taxis found"),
+    ("match.insertions_evaluated", "insertion instances evaluated"),
+    ("match.routes_planned", "candidate routes planned"),
+    ("sim.encounters_scanned", "offline encounters scanned"),
+    ("sim.taxi_advances", "taxi movement notifications"),
+    ("sim.stop_notifications", "with stops fired (index refreshes)"),
+    ("route.fallbacks_total", "partition-filter fallbacks"),
+    ("index.partition_entries", "partition index entries (end)"),
+    ("index.clusters", "mobility clusters (end)"),
+)
+
+
+def observability_table(metrics) -> ExperimentResult | None:
+    """Per-stage dispatch timing table from one run's metrics.
+
+    One column per recorded stage (``sim.dispatch``,
+    ``match.candidates``, ``match.insertion``, ``match.planning``,
+    ``route.basic``, ``route.probabilistic``); rows are call counts,
+    total and mean wall time.  Counters (cache hit rate, insertion
+    instances, encounter scans) land in the notes.  Returns ``None``
+    when the run carried no instrumentation.
+    """
+    if not metrics.stages:
+        return None
+    names = sorted(metrics.stages)
+    result = ExperimentResult(
+        title=f"Dispatch stage breakdown — {metrics.scheme_name}",
+        x_label="stage",
+        x_values=names,
+        y_label="metric",
+    )
+    result.add_series("calls", [metrics.stages[n]["count"] for n in names])
+    result.add_series(
+        "total_ms", [1000.0 * metrics.stages[n]["total_s"] for n in names]
+    )
+    result.add_series(
+        "mean_us", [1e6 * metrics.stages[n]["mean_s"] for n in names]
+    )
+    hits = metrics.counters.get("spe.cache_hits", 0)
+    misses = metrics.counters.get("spe.cache_misses", 0)
+    if hits or misses:
+        result.notes.append(
+            f"shortest-path cache: {hits} hits / {misses} misses "
+            f"(hit rate {metrics.lazy_cache_hit_rate:.4f})"
+        )
+    for key, label in _HEADLINE_COUNTERS:
+        if key in metrics.counters:
+            result.notes.append(f"{label}: {metrics.counters[key]}")
+    return result

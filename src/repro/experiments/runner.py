@@ -86,6 +86,43 @@ def run_simple(
                       config_overrides=overrides, **kwargs))
 
 
+def collect_observability() -> dict:
+    """Aggregate stage timings and counters across all memoised runs.
+
+    The benchmark harness attaches this to each benchmark's
+    ``extra_info`` so the JSON output carries per-stage dispatch
+    timings and the lazy-cache hit rate alongside the wall times.
+    Stages merge by summing counts/totals and widening min/max;
+    counters sum.  Returns ``{"runs": 0}`` when nothing has run yet.
+    """
+    stages: dict[str, dict[str, float]] = {}
+    counters: dict[str, int] = {}
+    runs = 0
+    for metrics in _CACHE.values():
+        if not metrics.stages and not metrics.counters:
+            continue
+        runs += 1
+        for name, stat in metrics.stages.items():
+            agg = stages.get(name)
+            if agg is None:
+                stages[name] = dict(stat)
+            else:
+                agg["count"] += stat["count"]
+                agg["total_s"] += stat["total_s"]
+                agg["min_s"] = min(agg["min_s"], stat["min_s"])
+                agg["max_s"] = max(agg["max_s"], stat["max_s"])
+        for name, value in metrics.counters.items():
+            counters[name] = counters.get(name, 0) + value
+    for agg in stages.values():
+        agg["mean_s"] = agg["total_s"] / agg["count"] if agg["count"] else 0.0
+    hits = counters.get("spe.cache_hits", 0)
+    misses = counters.get("spe.cache_misses", 0)
+    out: dict = {"runs": runs, "stages": stages, "counters": counters}
+    if hits or misses:
+        out["lazy_cache_hit_rate"] = hits / (hits + misses)
+    return out
+
+
 # ----------------------------------------------------------------------
 # benchmark scale presets
 # ----------------------------------------------------------------------

@@ -146,6 +146,7 @@ class Taxi:
     _stops_fired: int = 0
     _onboard_pax: int = 0
     _assigned_pax: int = 0
+    _stops_fired_total: int = 0
 
     # ------------------------------------------------------------------
     # derived state
@@ -169,6 +170,17 @@ class Taxi:
     def idle_seats(self) -> int:
         """Free seats right now (onboard passengers only)."""
         return self.capacity - self.occupancy
+
+    @property
+    def stops_fired_total(self) -> int:
+        """Lifetime count of executed stops (monotone, never reset).
+
+        ``_stops_fired`` indexes into the *current* schedule and resets
+        whenever a plan completes or is replaced, so comparing it across
+        an :meth:`advance` call cannot tell whether stops actually fired
+        — the simulator compares this counter instead.
+        """
+        return self._stops_fired_total
 
     def has_spare_commitment(self) -> bool:
         """Whether accepting one more single passenger could ever fit.
@@ -249,6 +261,7 @@ class Taxi:
                 stop = self.schedule[self._stops_fired]
                 self._fire_stop(stop, t, on_pickup, on_dropoff)
                 self._stops_fired += 1
+                self._stops_fired_total += 1
             self._route_cursor += 1
 
         if self._stops_fired and self._stops_fired == len(self.schedule):

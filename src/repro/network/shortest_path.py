@@ -70,6 +70,14 @@ class ShortestPathEngine:
         self._dist: np.ndarray | None = None
         self._pred: np.ndarray | None = None
         self._lazy: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        #: Source-tree queries answered from cache (in ``full`` mode every
+        #: query is a hit: the whole matrix is the cache).  Plain integers
+        #: on purpose — this is the engine's hottest path, so the
+        #: observability layer harvests them in bulk at end of run instead
+        #: of being called per query.
+        self.cache_hits = 0
+        #: Lazy-mode queries that had to run a fresh single-source Dijkstra.
+        self.cache_misses = 0
         if mode == "full":
             self._build_full()
 
@@ -93,11 +101,14 @@ class ShortestPathEngine:
     def _source_tree(self, source: int) -> tuple[np.ndarray, np.ndarray]:
         if self._mode == "full":
             assert self._dist is not None and self._pred is not None
+            self.cache_hits += 1
             return self._dist[source], self._pred[source]
         tree = self._lazy.get(source)
         if tree is not None:
             self._lazy.move_to_end(source)
+            self.cache_hits += 1
             return tree
+        self.cache_misses += 1
         mat = self._network.to_csr()
         dist, pred = csgraph.dijkstra(
             mat, directed=True, indices=source, return_predecessors=True
@@ -161,6 +172,19 @@ class ShortestPathEngine:
         dist, _ = self._source_tree(source)
         finite = dist[np.isfinite(dist)]
         return float(finite.max()) if finite.size else 0.0
+
+    @property
+    def lazy_cache_len(self) -> int:
+        """Source trees currently retained by the lazy cache."""
+        return len(self._lazy)
+
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss/size snapshot for the observability layer."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "entries": len(self._lazy),
+        }
 
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the cached structures."""

@@ -26,6 +26,7 @@ from ..baselines.base import DispatchScheme
 from ..core.payment import PaymentModel
 from ..demand.request import RideRequest
 from ..fleet.taxi import FleetLog, Taxi
+from ..obs import Instrumentation, JsonlTraceWriter
 from .metrics import SimulationMetrics
 
 #: Clock step while draining schedules after the last online release.
@@ -67,6 +68,15 @@ class Simulator:
     redispatch_encounters:
         Whether an offline request that a taxi meets but cannot carry
         is handed to the dispatcher as a fresh online request.
+    obs:
+        Observability registry (``repro.obs``); the simulator creates
+        one when omitted and attaches it to the scheme, so every run's
+        metrics carry per-stage dispatch timings and counters.  Pass a
+        :class:`~repro.obs.NullInstrumentation` to disable aggregation
+        entirely.
+    trace_path:
+        When given (and ``obs`` is omitted), stage exits and dispatch
+        events are additionally appended to this JSONL file.
     """
 
     def __init__(
@@ -77,8 +87,15 @@ class Simulator:
         payment: PaymentModel | None = None,
         redispatch_encounters: bool = True,
         encounter_radius_m: float = DEFAULT_ENCOUNTER_RADIUS_M,
+        obs: Instrumentation | None = None,
+        trace_path: str | None = None,
     ) -> None:
         self._scheme = scheme
+        if obs is None:
+            trace = JsonlTraceWriter(trace_path) if trace_path else None
+            obs = Instrumentation(trace=trace)
+        self._obs = obs
+        scheme.instrument(obs)
         self._fleet = {t.taxi_id: t for t in taxis}
         self._requests = sorted(requests, key=lambda r: (r.release_time, r.request_id))
         self._payment = payment
@@ -112,6 +129,11 @@ class Simulator:
     def fleet(self) -> dict[int, Taxi]:
         """The simulated taxis."""
         return self._fleet
+
+    @property
+    def obs(self) -> Instrumentation:
+        """The observability registry driving this run."""
+        return self._obs
 
     # ------------------------------------------------------------------
     # callbacks wired into taxi movement
@@ -195,11 +217,20 @@ class Simulator:
     # time advancement
     # ------------------------------------------------------------------
     def _advance_all(self, now: float) -> None:
+        obs = self._obs
         for taxi in self._fleet.values():
-            fired_before = taxi._stops_fired  # noqa: SLF001 - engine drives fleet
+            # The monotone lifetime counter survives schedule completion
+            # (which resets the per-schedule ``_stops_fired`` index), so
+            # this comparison reports *true* firings only: an idle taxi
+            # cruising through vertices no longer claims "stops fired"
+            # every tick and no longer triggers needless index refreshes.
+            fired_before = taxi.stops_fired_total
             traversed = taxi.advance(now, on_pickup=self._on_pickup, on_dropoff=self._on_dropoff)
             if traversed:
-                stops_fired = taxi.idle or taxi._stops_fired != fired_before  # noqa: SLF001
+                stops_fired = taxi.stops_fired_total != fired_before
+                obs.count("sim.taxi_advances")
+                if stops_fired:
+                    obs.count("sim.stop_notifications")
                 self._scheme.on_taxi_advanced(taxi, now, stops_fired)
                 was_busy = self._was_busy.get(taxi.taxi_id, False)
                 if taxi.idle and was_busy:
@@ -223,6 +254,7 @@ class Simulator:
             self._offline_pool[request.origin].append(request)
 
     def _scan_encounters(self, taxi: Taxi, traversed: list[tuple[int, float]]) -> None:
+        scanned = 0
         for node, t in traversed:
             pool = self._offline_pool.get(node)
             if not pool:
@@ -232,11 +264,17 @@ class Simulator:
                 rid = request.request_id
                 if rid in self._offline_done:
                     continue
+                scanned += 1
                 if t < request.release_time:
                     still_waiting.append(request)
                     continue
                 if t > request.pickup_deadline:
-                    self._offline_done.add(rid)  # expired: the passenger gave up
+                    # Expired: the passenger gave up.  Count it — these
+                    # used to vanish silently, leaving served + failed
+                    # short of the request total.
+                    self._offline_done.add(rid)
+                    self._metrics.expired_offline += 1
+                    self._obs.event("offline_expired", request=rid, t=t)
                     continue
                 result = self._scheme.try_offline(taxi, request, t)
                 if result is not None:
@@ -255,6 +293,8 @@ class Simulator:
                 self._offline_pool[node] = still_waiting
             else:
                 del self._offline_pool[node]
+        if scanned:
+            self._obs.count("sim.encounters_scanned", scanned)
 
     # ------------------------------------------------------------------
     # dispatching
@@ -272,9 +312,20 @@ class Simulator:
         t0 = time.perf_counter()
         result = self._scheme.dispatch(request, now)
         elapsed = time.perf_counter() - t0
+        self._obs.record("sim.dispatch", elapsed)
+        self._obs.event(
+            "dispatch",
+            request=request.request_id,
+            t=now,
+            elapsed_ms=round(1000.0 * elapsed, 4),
+            matched=result is not None,
+            redispatch=not count_response,
+        )
         if count_response:
             self._metrics.response_times_s.append(elapsed)
         if result is None:
+            if count_response:
+                self._metrics.unserved_online += 1
             return False
         if count_response:
             self._metrics.candidate_counts.append(result.num_candidates)
@@ -285,6 +336,11 @@ class Simulator:
     def run(self) -> SimulationMetrics:
         """Execute the full workload and return the collected metrics."""
         wall_start = time.perf_counter()
+        # The engine may be shared across runs (scenarios memoise it), so
+        # cache statistics are reported as this run's delta.
+        engine = self._scheme.engine
+        cache_hits0 = engine.cache_hits
+        cache_misses0 = engine.cache_misses
         self._metrics.num_requests = len(self._requests)
         self._metrics.num_online = sum(1 for r in self._requests if not r.offline)
         self._metrics.num_offline = self._metrics.num_requests - self._metrics.num_online
@@ -312,6 +368,31 @@ class Simulator:
             self._advance_all(now)
         self._now = now
 
+        # Final offline accounting: requests no taxi ever resolved are
+        # either expired (deadline passed while waiting at the roadside)
+        # or still waiting when the run ended.  Without this sweep the
+        # request balance does not close.
+        for request in self._requests:
+            if not request.offline:
+                continue
+            rid = request.request_id
+            if rid in self._offline_done or rid in self._log.trips:
+                continue
+            if now > request.pickup_deadline:
+                self._metrics.expired_offline += 1
+            else:
+                self._metrics.unserved_offline += 1
+
+        obs = self._obs
+        obs.gauge("spe.cache_hits", engine.cache_hits - cache_hits0)
+        obs.gauge("spe.cache_misses", engine.cache_misses - cache_misses0)
+        obs.gauge("spe.cache_entries", engine.lazy_cache_len)
+        self._scheme.collect_observability(obs)
+        self._metrics.stages = obs.stage_snapshot()
+        self._metrics.counters = obs.counter_snapshot()
+        obs.close()
+
         self._metrics.index_memory_bytes = self._scheme.index_memory_bytes()
         self._metrics.wall_time_s = time.perf_counter() - wall_start
+        self._metrics.check_balance()
         return self._metrics

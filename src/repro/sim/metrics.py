@@ -26,6 +26,16 @@ class SimulationMetrics:
     served_online: int = 0
     served_offline: int = 0
     completed: int = 0
+    #: Offline requests whose pick-up deadline passed unserved (the
+    #: passenger gave up street-hailing).  Counted when a scanning taxi
+    #: detects the expiry and swept up at end of run for requests no
+    #: taxi ever passed, so the request balance always closes.
+    expired_offline: int = 0
+    #: Online requests the dispatcher could not match.
+    unserved_online: int = 0
+    #: Offline requests still waiting (deadline not yet reached) when
+    #: the simulation ended.
+    unserved_offline: int = 0
 
     response_times_s: list[float] = field(default_factory=list)
     waiting_times_s: list[float] = field(default_factory=list)
@@ -43,6 +53,14 @@ class SimulationMetrics:
     index_memory_bytes: int = 0
     wall_time_s: float = 0.0
 
+    #: Per-stage dispatch timing aggregates from the observability layer
+    #: (``repro.obs``): stage name -> {count, total_s, mean_s, min_s,
+    #: max_s}.  See docs/OBSERVABILITY.md for the stage vocabulary.
+    stages: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Observability counters and end-of-run gauges (cache hits/misses,
+    #: insertion instances evaluated, encounters scanned, index sizes).
+    counters: dict[str, int] = field(default_factory=dict)
+
     # ------------------------------------------------------------------
     @property
     def served(self) -> int:
@@ -53,6 +71,47 @@ class SimulationMetrics:
     def service_rate(self) -> float:
         """Fraction of all requests that were served."""
         return self.served / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def unserved(self) -> int:
+        """Requests neither served nor expired (failed or still waiting)."""
+        return self.unserved_online + self.unserved_offline
+
+    @property
+    def lazy_cache_hit_rate(self) -> float:
+        """Shortest-path source-tree cache hit rate (1.0 in full mode)."""
+        hits = self.counters.get("spe.cache_hits", 0)
+        misses = self.counters.get("spe.cache_misses", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def stage_total_ms(self, name: str) -> float:
+        """Total wall time spent in one dispatch stage, in milliseconds."""
+        stats = self.stages.get(name)
+        return 1000.0 * stats["total_s"] if stats else 0.0
+
+    def check_balance(self) -> None:
+        """Verify the request accounting identity; raise on any leak.
+
+        Every request must end in exactly one bucket::
+
+            served_online + unserved_online                     == num_online
+            served_offline + expired_offline + unserved_offline == num_offline
+
+        The simulator calls this at the end of every run so a request
+        silently vanishing (the pre-fix behaviour of expired offline
+        requests) fails loudly instead of skewing the service rate.
+        """
+        online = self.served_online + self.unserved_online
+        offline = self.served_offline + self.expired_offline + self.unserved_offline
+        if online != self.num_online or offline != self.num_offline:
+            raise ValueError(
+                "request accounting out of balance: "
+                f"online {self.served_online}+{self.unserved_online}"
+                f"={online} vs {self.num_online}; "
+                f"offline {self.served_offline}+{self.expired_offline}"
+                f"+{self.unserved_offline}={offline} vs {self.num_offline}"
+            )
 
     @property
     def avg_response_ms(self) -> float:
@@ -103,6 +162,8 @@ class SimulationMetrics:
             "served": self.served,
             "served_online": self.served_online,
             "served_offline": self.served_offline,
+            "expired_offline": self.expired_offline,
+            "unserved": self.unserved,
             "service_rate": round(self.service_rate, 4),
             "response_ms": round(self.avg_response_ms, 3),
             "waiting_min": round(self.avg_waiting_min, 3),
@@ -111,6 +172,10 @@ class SimulationMetrics:
             "fare_saving_pct": round(self.fare_saving_pct, 2),
             "driver_gain_pct": round(self.driver_gain_pct, 2),
             "index_memory_kb": round(self.index_memory_bytes / 1024.0, 1),
+            "stage_candidates_ms": round(self.stage_total_ms("match.candidates"), 3),
+            "stage_insertion_ms": round(self.stage_total_ms("match.insertion"), 3),
+            "stage_planning_ms": round(self.stage_total_ms("match.planning"), 3),
+            "cache_hit_rate": round(self.lazy_cache_hit_rate, 4),
         }
 
     def __str__(self) -> str:  # pragma: no cover - convenience

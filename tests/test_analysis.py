@@ -4,7 +4,6 @@ import pytest
 
 from repro.experiments.analysis import (
     FleetProfile,
-    SharingProfile,
     fleet_profile,
     run_report,
     sharing_profile,

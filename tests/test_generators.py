@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 from scipy import sparse
 from scipy.sparse import csgraph
 
-from repro.network.generators import grid_city, ring_radial_city, small_test_network
+from repro.network.generators import grid_city, ring_radial_city
 
 
 def is_strongly_connected(net) -> bool:

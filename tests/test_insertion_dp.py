@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.fleet.insertion_dp import best_insertion_dp
 from repro.fleet.schedule import (

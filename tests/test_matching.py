@@ -175,3 +175,139 @@ class TestMatch:
         taxi.assign(trip(tiny_engine, 1, 5, rid=9))
         r = trip(tiny_engine, 1, 7)
         assert matcher.insertion_for_taxi(taxi, r, 0.0) is None
+
+
+class InflatingRouter(BasicRouter):
+    """Test double: routes planned from ``slow_node`` get ``penalty``
+    seconds of extra travel time, modelling a router (probabilistic, or
+    a lazy engine with partition-filter detours) whose concrete routes
+    are worse than their shortest-path estimates."""
+
+    def __init__(self, *args, slow_node: int, penalty: float, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.slow_node = slow_node
+        self.penalty = penalty
+        self.calls = 0
+
+    def route_for_schedule(self, start_node, start_time, stops, taxi_vector=None):
+        self.calls += 1
+        route = super().route_for_schedule(start_node, start_time, stops)
+        if start_node != self.slow_node:
+            return route
+        from repro.fleet.taxi import TaxiRoute
+
+        times = [route.times[0]] + [t + self.penalty for t in route.times[1:]]
+        return TaxiRoute(
+            nodes=route.nodes, times=times, stop_positions=route.stop_positions
+        )
+
+
+def build_matcher(tiny_net, tiny_engine, router, **config_kwargs):
+    """A matcher over the row-partitioned tiny grid with a given router."""
+    lg = LandmarkGraph(tiny_net, [[0, 1, 2], [3, 4, 5], [6, 7, 8]], tiny_engine)
+    config = SystemConfig(search_range_m=500.0, num_partitions=3, **config_kwargs)
+    pindex = PartitionTaxiIndex(3)
+    matcher = Matcher(
+        tiny_net,
+        tiny_engine,
+        lg,
+        pindex,
+        MobilityClusterIndex(lam=config.lam),
+        config,
+        router,
+    )
+    return matcher, pindex, lg
+
+
+class TestWinnerByActualDetour:
+    """Regression: ``match`` must pick the minimum *actual* planned-route
+    detour, not the first candidate that survives route planning."""
+
+    def test_worse_estimate_wins_on_actual_detour(self, tiny_net, tiny_engine):
+        router = InflatingRouter(
+            tiny_net, tiny_engine, None, slow_node=1, penalty=300.0
+        )
+        matcher, pindex, lg = build_matcher(tiny_net, tiny_engine, router)
+        # Taxi 0 sits on the pick-up vertex: best estimated detour, but
+        # its planned route is inflated by 300 s.  Taxi 1 is one hop
+        # away with an exact route.
+        on_origin = idle_taxi(0, 1, pindex, lg)
+        one_hop = idle_taxi(1, 2, pindex, lg)
+        fleet = {0: on_origin, 1: one_hop}
+        r = trip(tiny_engine, 1, 7, rho=3.0)
+        result = matcher.match(r, fleet, 0.0)
+        assert result is not None
+        # First-survivor selection would return taxi 0 here.
+        assert result.taxi_id == 1
+        assert result.detour_cost == pytest.approx(
+            tiny_engine.cost(2, 1) + tiny_engine.cost(1, 7)
+        )
+        assert router.calls == 2  # both candidates were actually planned
+
+    def test_early_exit_plans_one_route_when_estimates_are_exact(
+        self, tiny_net, tiny_engine
+    ):
+        # With exact routes (full-APSP engine, no inflation) the first
+        # candidate's actual detour equals its estimate, so no later
+        # estimate can beat it and planning stops after one route.
+        router = InflatingRouter(
+            tiny_net, tiny_engine, None, slow_node=-1, penalty=0.0
+        )
+        matcher, pindex, lg = build_matcher(tiny_net, tiny_engine, router)
+        fleet = {0: idle_taxi(0, 1, pindex, lg), 1: idle_taxi(1, 8, pindex, lg)}
+        r = trip(tiny_engine, 1, 7, rho=3.0)
+        result = matcher.match(r, fleet, 0.0)
+        assert result.taxi_id == 0
+        assert router.calls == 1
+
+    def test_planning_cutoff_bounds_routes_planned(self, tiny_net, tiny_engine):
+        # Every candidate's route is inflated, so the estimate-based
+        # early exit never triggers; the cutoff must stop planning.
+        class SlowEverywhere(InflatingRouter):
+            def route_for_schedule(self, start_node, start_time, stops,
+                                   taxi_vector=None):
+                self.slow_node = start_node
+                return super().route_for_schedule(start_node, start_time, stops)
+
+        slow = SlowEverywhere(tiny_net, tiny_engine, None, slow_node=-2,
+                              penalty=500.0)
+        matcher, pindex, lg = build_matcher(
+            tiny_net, tiny_engine, slow, match_planning_cutoff=2
+        )
+        fleet = {
+            0: idle_taxi(0, 1, pindex, lg),
+            1: idle_taxi(1, 2, pindex, lg),
+            2: idle_taxi(2, 4, pindex, lg),
+            3: idle_taxi(3, 0, pindex, lg),
+        }
+        r = trip(tiny_engine, 1, 7, rho=3.0)
+        result = matcher.match(r, fleet, 0.0)
+        assert result is not None
+        # Inflation keeps the estimate-based exit from firing (every
+        # estimate beats every inflated actual), so the cutoff is what
+        # stops planning: exactly 2 routes get planned.
+        assert slow.calls == 2
+
+    def test_cutoff_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(match_planning_cutoff=0)
+
+
+class TestMatchObservability:
+    def test_match_reports_stages_and_counters(self, tiny_net, tiny_engine):
+        from repro.obs import Instrumentation
+
+        router = BasicRouter(tiny_net, tiny_engine, None)
+        matcher, pindex, lg = build_matcher(tiny_net, tiny_engine, router)
+        obs = Instrumentation()
+        matcher.instrument(obs)
+        router.instrument(obs)
+        fleet = {0: idle_taxi(0, 1, pindex, lg), 1: idle_taxi(1, 8, pindex, lg)}
+        r = trip(tiny_engine, 1, 7, rho=3.0)
+        assert matcher.match(r, fleet, 0.0) is not None
+        for stage in ("match.candidates", "match.insertion", "match.planning",
+                      "route.basic"):
+            assert obs.stages[stage].count >= 1
+        assert obs.counters["match.candidates_found"] == 2
+        assert obs.counters["match.insertions_evaluated"] >= 2
+        assert obs.counters["match.routes_planned"] == 1

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.sim.scenario import (
-    Scenario,
     ScenarioSpec,
     get_scenario,
     nonpeak_spec,
