@@ -10,10 +10,12 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 from ..config import SystemConfig
 from ..core.matching import MatchResult
 from ..demand.request import RideRequest
-from ..fleet.schedule import arrival_times, capacity_ok, deadlines_met, enumerate_insertions
+from ..fleet.schedule import evaluate_insertions
 from ..fleet.taxi import Taxi
 from ..network.graph import RoadNetwork
 from ..network.shortest_path import ShortestPathEngine
@@ -157,24 +159,18 @@ class DispatchScheme(abc.ABC):
         node, ready = taxi.position_at(now)
         pending = taxi.pending_stops()
         current_cost = taxi.remaining_route_cost(ready)
-        cost_fn = self._engine.cost
 
-        best: tuple[float, list] | None = None
-        evaluated = 0
-        for _i, _j, stops in enumerate_insertions(pending, request):
-            evaluated += 1
-            if not capacity_ok(stops, taxi.occupancy, taxi.capacity):
-                continue
-            times = arrival_times(node, ready, stops, cost_fn)
-            if not deadlines_met(stops, times):
-                continue
-            detour = (times[-1] - ready) - current_cost
-            if best is None or detour < best[0]:
-                best = (detour, stops)
-        self._obs.count("match.insertions_evaluated", evaluated)
-        if best is None:
+        batch = evaluate_insertions(
+            self._engine, node, ready, pending, request, taxi.occupancy, taxi.capacity
+        )
+        self._obs.count("match.insertions_evaluated", batch.size)
+        self._obs.count("kernel.batched_insertions", 1)
+        feasible = np.flatnonzero(batch.feasible)
+        if feasible.size == 0:
             return None
-        detour, stops = best
+        k = int(feasible[np.argmin(batch.last_arrival[feasible])])
+        detour = (float(batch.last_arrival[k]) - ready) - current_cost
+        stops = batch.stops_for(k)
         try:
             route = self._fallback_router.route_for_schedule(node, ready, stops)
         except RouteInfeasible:

@@ -28,18 +28,43 @@ planned candidates once a winner exists).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
+
+import numpy as np
 
 from ..config import SystemConfig
 from ..demand.request import RideRequest
-from ..fleet.schedule import Stop, arrival_times, capacity_ok, deadlines_met, enumerate_insertions
+from ..fleet.schedule import (
+    Stop,
+    arrival_times,
+    capacity_ok,
+    deadlines_met,
+    enumerate_insertions,
+    evaluate_insertions,
+    evaluate_insertions_grouped,
+    materialize_insertion,
+    score_insertions_tight,
+)
 from ..fleet.taxi import Taxi, TaxiRoute
 from ..index.partition_index import PartitionTaxiIndex
 from ..network.graph import RoadNetwork
 from ..network.landmarks import LandmarkGraph
 from ..network.shortest_path import ShortestPathEngine
 from ..obs import NULL, Instrumentation
-from .mobility_cluster import MobilityClusterIndex, MobilityVector
+from .mobility_cluster import (
+    ZERO_UNIT,
+    MobilityClusterIndex,
+    MobilityVector,
+    direction_unit,
+)
 from .routing import BasicRouter, RouteInfeasible
+
+#: Total insertion instances below which a dispatch is scored with the
+#: tight scalar distance-row walk instead of the grouped array kernels.
+#: numpy's fixed per-call dispatch cost dominates under roughly a
+#: hundred instances (see docs/PERFORMANCE.md); both paths produce the
+#: scalar reference's decisions bit for bit.
+TIGHT_INSERTION_MAX = 96
 
 
 @dataclass(frozen=True, slots=True)
@@ -154,43 +179,194 @@ class Matcher:
         if not pool:
             return []
 
+        cindex = self._cindex
+        lam = cindex.lam
         vec = request_vector(self._network, request)
-        aligned = self._cindex.aligned_taxis(vec)
+        # Request-side normalised direction, shared by every per-taxi
+        # similarity fallback below.
+        req_unit = direction_unit(*vec.direction)
+        # A taxi belongs to the aligned-taxi union exactly when its one
+        # cluster is a matching cluster, so membership is a dict + set
+        # probe — no per-dispatch union materialisation.
+        matching_cids = set(cindex.matching_clusters(vec))
+        cluster_of_taxi = cindex.cluster_of_taxi
+        taxi_unit = cindex.taxi_unit
 
-        origin_partition = self._lg.partition_of(request.origin)
-        candidates: list[Taxi] = []
+        origin = request.origin
+        origin_partition = self._lg.partition_of(origin)
+        pickup_deadline = request.pickup_deadline
+        n_pass = request.num_passengers
+        arrival_get = self._pindex.arrival_map(origin_partition).get
+        fleet_get = fleet.get
+        # Full mode answers the exact Rule-3 reachability bound with
+        # single reads of the distance column into the pick-up vertex;
+        # lazy mode defers the affected taxis to one batched
+        # cost-matrix query at the end.
+        col = self._engine.dist_col(origin)
+        speed = self._network.speed_mps
+
+        screened: list[Taxi] = []
+        exact_rows: list[int] = []
+        exact_ready: list[float] = []
+        exact_nodes: list[int] = []
+        exact_checks = 0
         for taxi_id in pool:
-            taxi = fleet.get(taxi_id)
+            taxi = fleet_get(taxi_id)
             if taxi is None:
+                continue
+            # Rule 2: no idle capacity -> out.  (Checked first: it is
+            # one integer compare, the direction rules cost float math;
+            # the rules are independent filters so the surviving set is
+            # the same in any order.)
+            if taxi.committed + n_pass > taxi.capacity:
                 continue
             # Rule 1: empty taxis in the disc partitions always qualify.
             # Busy taxis must travel the request's way: either their
             # mobility cluster is aligned, or — since clusters assign
             # each taxi to a single best cluster and can therefore miss
-            # borderline cases — their own mobility vector is.
-            if not taxi.idle and taxi_id not in aligned:
-                tv = self._cindex.taxi_vector(taxi_id)
-                if tv is None or vec.similarity(tv) < self._cindex.lam:
+            # borderline cases — their own mobility vector is.  (This
+            # stays scalar on purpose: a dispatch sees ~15 misaligned
+            # taxis, below the break-even size of the array kernel; the
+            # taxi-side normalised components come precomputed from the
+            # cluster index.)
+            if taxi.schedule and cluster_of_taxi(taxi_id) not in matching_cids:
+                unit = taxi_unit(taxi_id)
+                if unit is None:
                     continue
-            # Rule 2: no idle capacity -> out.
-            if taxi.committed + request.num_passengers > taxi.capacity:
-                continue
+                if unit is not ZERO_UNIT and req_unit is not ZERO_UNIT:
+                    # Inline ``unit_similarity`` (bit-identical to
+                    # ``vec.similarity(taxi_vector)``; the dot product
+                    # commutes multiplication-wise).
+                    value = (unit[0] * req_unit[0] + unit[1] * req_unit[1]) / (
+                        unit[2] * req_unit[2]
+                    )
+                    if max(-1.0, min(1.0, value)) < lam:
+                        continue
             # Rule 3: must reach the pick-up before its deadline.  The
-            # indexed route arrival admits quickly; when it is absent or
-            # late the exact O(1) shortest-path bound decides (a taxi
-            # whose planned route arrives late can still divert).
-            arrival = self._pindex.arrival_time(origin_partition, taxi_id)
-            if arrival is None or arrival > request.pickup_deadline:
+            # indexed route arrival admits quickly; taxis it cannot
+            # admit get the exact shortest-path bound (a taxi whose
+            # planned route arrives late can still divert).
+            arrival = arrival_get(taxi_id)
+            if arrival is None or arrival > pickup_deadline:
                 node, ready = taxi.position_at(now)
-                arrival = ready + self._engine.cost(node, request.origin)
-            if arrival > request.pickup_deadline:
-                continue
-            candidates.append(taxi)
-        return candidates
+                if col is not None:
+                    exact_checks += 1
+                    if ready + col.item(node) / speed > pickup_deadline:
+                        continue
+                else:
+                    exact_rows.append(len(screened))
+                    exact_nodes.append(node)
+                    exact_ready.append(ready)
+            screened.append(taxi)
+
+        if exact_checks:
+            self._obs.count("kernel.batched_reach_checks", exact_checks)
+        if not exact_rows:
+            return screened
+        # Lazy mode: exact bounds for every deferred taxi in one
+        # cost-matrix slice instead of one engine query per taxi.
+        self._obs.count("kernel.batched_reach_checks", len(exact_rows))
+        costs = self._engine.cost_matrix(exact_nodes, [origin])[:, 0]
+        arrivals = np.asarray(exact_ready) + costs
+        late = set()
+        for row, arrival in zip(exact_rows, arrivals):
+            if arrival > pickup_deadline:
+                late.add(row)
+        return [taxi for row, taxi in enumerate(screened) if row not in late]
 
     # ------------------------------------------------------------------
     # taxi scheduling (Algorithm 1)
     # ------------------------------------------------------------------
+    def _score_candidates(
+        self,
+        candidates: list[Taxi],
+        request: RideRequest,
+        now: float,
+    ):
+        """Best feasible insertion per candidate, for the whole dispatch.
+
+        Returns ``(detour, taxi, build_stops)`` triples sorted by
+        detour (taxi id breaking ties); ``build_stops()`` materialises
+        the winning stop list, so only the few candidates that reach
+        route planning pay for it.  Small dispatches are scored with
+        the tight distance-row walk, large ones with the grouped array
+        kernels — detours, feasibility and the per-taxi winning
+        instance are bit-identical either way to calling
+        :meth:`_best_insertion` (and therefore the scalar reference)
+        taxi by taxi.
+        """
+        items: list[tuple[Taxi, int, float, list[Stop]]] = []
+        total = 0
+        for taxi in candidates:
+            node, ready = taxi.position_at(now)
+            pending = taxi.pending_stops()
+            m = len(pending)
+            total += (m + 1) * (m + 2) // 2
+            items.append((taxi, node, ready, pending))
+        if total <= TIGHT_INSERTION_MAX:
+            scored = self._score_tight(items, request)
+        else:
+            scored = self._score_grouped(items, request)
+        self._obs.count("match.insertions_evaluated", total)
+        scored.sort(key=lambda item: (item[0], item[1].taxi_id))
+        return scored
+
+    def _score_tight(
+        self,
+        items: list[tuple[Taxi, int, float, list[Stop]]],
+        request: RideRequest,
+    ):
+        """Small-dispatch scorer: one tight distance-row walk over the
+        whole candidate set (rows and the request's stop pair are shared
+        across candidates inside :func:`score_insertions_tight`)."""
+        starts = [
+            (node, ready, pending, taxi.occupancy, taxi.capacity)
+            for taxi, node, ready, pending in items
+        ]
+        scored = []
+        for idx, last, i, j in score_insertions_tight(self._engine, starts, request):
+            taxi, _node, ready, pending = items[idx]
+            detour = (last - ready) - taxi.remaining_route_cost(ready)
+            scored.append((detour, taxi, partial(materialize_insertion, pending, request, i, j)))
+        self._obs.count("kernel.tight_dispatches", 1)
+        return scored
+
+    def _score_grouped(
+        self,
+        items: list[tuple[Taxi, int, float, list[Stop]]],
+        request: RideRequest,
+    ):
+        """Large-dispatch scorer: candidates grouped by pending-stop
+        count, one :func:`evaluate_insertions_grouped` kernel each."""
+        groups: dict[int, list[tuple[Taxi, int, float, list[Stop]]]] = {}
+        for item in items:
+            groups.setdefault(len(item[3]), []).append(item)
+        scored = []
+        for group in groups.values():
+            batch = evaluate_insertions_grouped(
+                self._engine,
+                [g[1] for g in group],
+                [g[2] for g in group],
+                [g[3] for g in group],
+                request,
+                [g[0].occupancy for g in group],
+                [g[0].capacity for g in group],
+            )
+            # First minimum among the feasible instances, per taxi —
+            # the scalar loop's strict-improvement tie handling.
+            masked = np.where(batch.feasible, batch.last_arrival, np.inf)
+            winners = np.argmin(masked, axis=1)
+            for t, (taxi, _node, ready, _pending) in enumerate(group):
+                k = int(winners[t])
+                if not batch.feasible[t, k]:
+                    continue
+                detour = (float(batch.last_arrival[t, k]) - ready) - taxi.remaining_route_cost(
+                    ready
+                )
+                scored.append((detour, taxi, partial(batch.stops_for, t, k)))
+        self._obs.count("kernel.batched_insertions", len(groups))
+        return scored
+
     def _best_insertion(
         self,
         taxi: Taxi,
@@ -199,9 +375,40 @@ class Matcher:
     ) -> tuple[float, list[Stop]] | None:
         """Minimum-detour feasible insertion for one taxi, by O(1) costs.
 
-        Returns ``(detour_cost, stops)`` or ``None`` when no instance is
-        feasible.
+        Evaluates every insertion position at once with the batched
+        array kernel (:func:`~repro.fleet.schedule.evaluate_insertions`);
+        bit-identical to :meth:`_best_insertion_scalar`, the retained
+        reference implementation.  Returns ``(detour_cost, stops)`` or
+        ``None`` when no instance is feasible.
         """
+        node, ready = taxi.position_at(now)
+        pending = taxi.pending_stops()
+        current_cost = taxi.remaining_route_cost(ready)
+
+        batch = evaluate_insertions(
+            self._engine, node, ready, pending, request, taxi.occupancy, taxi.capacity
+        )
+        # One bulk counter update per candidate, not per instance.
+        self._obs.count("match.insertions_evaluated", batch.size)
+        self._obs.count("kernel.batched_insertions", 1)
+        feasible = np.flatnonzero(batch.feasible)
+        if feasible.size == 0:
+            return None
+        detours = (batch.last_arrival[feasible] - ready) - current_cost
+        # argmin keeps the first minimum, matching the scalar loop's
+        # strict-improvement tie handling over the same instance order.
+        k = int(feasible[np.argmin(detours)])
+        detour = (batch.last_arrival[k] - ready) - current_cost
+        return float(detour), batch.stops_for(k)
+
+    def _best_insertion_scalar(
+        self,
+        taxi: Taxi,
+        request: RideRequest,
+        now: float,
+    ) -> tuple[float, list[Stop]] | None:
+        """Scalar reference for :meth:`_best_insertion` (kernel tests
+        diff the two; the batched path is the production one)."""
         node, ready = taxi.position_at(now)
         pending = taxi.pending_stops()
         current_cost = taxi.remaining_route_cost(ready)
@@ -220,7 +427,6 @@ class Matcher:
             detour = (times[-1] - ready) - current_cost
             if best is None or detour < best[0]:
                 best = (detour, stops)
-        # One bulk counter update per candidate, not per instance.
         self._obs.count("match.insertions_evaluated", evaluated)
         return best
 
@@ -253,14 +459,9 @@ class Matcher:
             return None
 
         # Evaluate every candidate's best insertion with O(1) cached
-        # costs.
+        # costs, batched across the whole candidate set.
         with obs.stage("match.insertion"):
-            scored: list[tuple[float, Taxi, list[Stop]]] = []
-            for taxi in candidates:
-                best = self._best_insertion(taxi, request, now)
-                if best is not None:
-                    scored.append((best[0], taxi, best[1]))
-            scored.sort(key=lambda item: (item[0], item[1].taxi_id))
+            scored = self._score_candidates(candidates, request, now)
 
         # Plan concrete routes lazily in estimated-detour order and keep
         # the minimum *actual* route detour.  A planned route's legs are
@@ -273,11 +474,12 @@ class Matcher:
         best_result: MatchResult | None = None
         planned = 0
         with obs.stage("match.planning"):
-            for est_detour, taxi, stops in scored:
+            for est_detour, taxi, build_stops in scored:
                 if best_result is not None and (
                     est_detour >= best_result.detour_cost - 1e-9 or planned >= cutoff
                 ):
                     break
+                stops = build_stops()
                 node, ready = taxi.position_at(now)
                 use_prob = self._should_go_probabilistic(taxi, request)
                 route = None

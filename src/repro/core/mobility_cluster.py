@@ -15,12 +15,45 @@ the right-hand side of the candidate-search intersection (Eq. 3).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..network.geo import cosine_similarity
 
 #: Default direction threshold: cos(45 degrees).
 DEFAULT_LAMBDA = 0.707
+
+#: Sentinel unit for a zero-length direction: aligned with everything
+#: (:func:`cosine_similarity` returns 1.0 for degenerate vectors).
+ZERO_UNIT = (0.0, 0.0, 0.0)
+
+
+def direction_unit(dx: float, dy: float) -> tuple[float, float, float]:
+    """``(x/scale, y/scale, hypot(...))`` — the rescaled components and
+    norm that :func:`cosine_similarity` derives from a direction, cached
+    so the per-dispatch alignment tests skip straight to the dot
+    product.  :data:`ZERO_UNIT` (by identity) marks degenerate vectors.
+    """
+    scale = max(abs(dx), abs(dy))
+    if scale == 0.0:
+        return ZERO_UNIT
+    xn = dx / scale
+    yn = dy / scale
+    return (xn, yn, math.hypot(xn, yn))
+
+
+def unit_similarity(
+    a: tuple[float, float, float], b: tuple[float, float, float]
+) -> float:
+    """:func:`cosine_similarity` over two precomputed units, bit for bit.
+
+    ``a`` and ``b`` are :func:`direction_unit` results; either being
+    :data:`ZERO_UNIT` yields 1.0 exactly like the scalar reference.
+    """
+    if a is ZERO_UNIT or b is ZERO_UNIT:
+        return 1.0
+    value = (a[0] * b[0] + a[1] * b[1]) / (a[2] * b[2])
+    return max(-1.0, min(1.0, value))
 
 
 @dataclass(frozen=True, slots=True)
@@ -119,7 +152,14 @@ class MobilityClusterIndex:
         self._cluster_of_request: dict[int, int] = {}
         self._cluster_of_taxi: dict[int, int] = {}
         self._taxi_vectors: dict[int, MobilityVector] = {}
+        self._taxi_units: dict[int, tuple[float, float, float]] = {}
         self._next_id = 0
+        # Cached (cluster ids, normalised direction units) over the live
+        # clusters, rebuilt lazily after membership changes; the
+        # alignment lookups on the dispatch hot path then reduce to one
+        # dot product per cluster (a dispatch sees ~a dozen clusters,
+        # below the break-even size of an array kernel).
+        self._table: tuple[list[int], list[tuple[float, float, float]]] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -159,15 +199,34 @@ class MobilityClusterIndex:
     # ------------------------------------------------------------------
     # request side
     # ------------------------------------------------------------------
+    def _direction_table(self) -> tuple[list[int], list[tuple[float, float, float]]]:
+        """Cluster ids (dict order) plus their general-vector units."""
+        table = self._table
+        if table is None:
+            ids = list(self._clusters)
+            units = []
+            for cid in ids:
+                dx, dy = self._clusters[cid].general_vector().direction
+                units.append(direction_unit(dx, dy))
+            table = (ids, units)
+            self._table = table
+        return table
+
     def _best_cluster(self, vec: MobilityVector) -> tuple[int | None, float]:
-        best_id: int | None = None
-        best_sim = -2.0
-        for cid, cluster in self._clusters.items():
-            sim = vec.similarity(cluster.general_vector())
-            if sim > best_sim:
-                best_sim = sim
-                best_id = cid
-        return best_id, best_sim
+        if not self._clusters:
+            return None, -2.0
+        ids, units = self._direction_table()
+        bu = direction_unit(*vec.direction)
+        # Strict improvement keeps the first maximum, matching a
+        # :func:`cosine_similarity` loop over dict iteration order.
+        best_k = 0
+        best = -2.0
+        for k, unit in enumerate(units):
+            sim = unit_similarity(unit, bu)
+            if sim > best:
+                best = sim
+                best_k = k
+        return ids[best_k], best
 
     def add_request(self, request_id: int, vec: MobilityVector) -> int:
         """Place a request: join the most similar cluster or found a new one.
@@ -184,6 +243,7 @@ class MobilityClusterIndex:
             best_id = cluster.cluster_id
         self._clusters[best_id].add(request_id, vec)
         self._cluster_of_request[request_id] = best_id
+        self._table = None
         return best_id
 
     def remove_request(self, request_id: int) -> None:
@@ -197,6 +257,7 @@ class MobilityClusterIndex:
             for taxi_id in cluster.taxis:
                 self._cluster_of_taxi.pop(taxi_id, None)
             del self._clusters[cid]
+        self._table = None
 
     def matching_clusters(self, vec: MobilityVector) -> list[int]:
         """Clusters whose general vector is aligned with ``vec``.
@@ -204,10 +265,13 @@ class MobilityClusterIndex:
         Candidate searching uses the aligned clusters' taxi lists; in
         the common case this is a single cluster (the paper's ``C_a``).
         """
+        if not self._clusters:
+            return []
+        ids, units = self._direction_table()
+        bu = direction_unit(*vec.direction)
+        lam = self._lam
         return [
-            cid
-            for cid, cluster in self._clusters.items()
-            if vec.similarity(cluster.general_vector()) >= self._lam
+            ids[k] for k, unit in enumerate(units) if unit_similarity(unit, bu) >= lam
         ]
 
     def aligned_taxis(self, vec: MobilityVector) -> set[int]:
@@ -233,8 +297,10 @@ class MobilityClusterIndex:
             self._clusters[old].taxis.discard(taxi_id)
         if vec is None:
             self._taxi_vectors.pop(taxi_id, None)
+            self._taxi_units.pop(taxi_id, None)
             return None
         self._taxi_vectors[taxi_id] = vec
+        self._taxi_units[taxi_id] = direction_unit(*vec.direction)
         best_id, best_sim = self._best_cluster(vec)
         if best_id is None or best_sim < self._lam:
             return None
@@ -245,6 +311,16 @@ class MobilityClusterIndex:
     def taxi_vector(self, taxi_id: int) -> MobilityVector | None:
         """Last known mobility vector of a busy taxi."""
         return self._taxi_vectors.get(taxi_id)
+
+    def taxi_unit(self, taxi_id: int) -> tuple[float, float, float] | None:
+        """Normalised direction unit of a busy taxi's mobility vector.
+
+        ``None`` when the taxi has no vector; :data:`ZERO_UNIT` (by
+        identity) when the vector is degenerate.  Candidate searching
+        uses this for its per-taxi similarity fallback without
+        re-deriving the components every dispatch.
+        """
+        return self._taxi_units.get(taxi_id)
 
     def memory_bytes(self) -> int:
         """Rough footprint of the clustering structures."""

@@ -46,6 +46,7 @@ class PartitionFilter:
         self._eps = float(epsilon)
         self._cache: dict[tuple[int, int], list[int]] = {}
         self._vertex_cache: dict[tuple[int, int], frozenset[int]] = {}
+        self._corridor_cache: dict[tuple[int, ...], frozenset[int]] = {}
 
     @property
     def landmark_graph(self) -> LandmarkGraph:
@@ -107,6 +108,25 @@ class PartitionFilter:
         self._vertex_cache[key] = result
         return result
 
+    def corridor_vertices(self, corridor) -> frozenset[int]:
+        """Union of the member vertices of an explicit partition corridor.
+
+        Memoised per corridor tuple; the *same frozenset object* is
+        returned for repeated corridors, so the induced-subgraph LRU in
+        :mod:`repro.network.shortest_path` gets cache hits by identity
+        instead of rebuilding the CSR submatrix per routed leg.
+        """
+        key = tuple(corridor)
+        cached = self._corridor_cache.get(key)
+        if cached is not None:
+            return cached
+        vertices: set[int] = set()
+        for pi in key:
+            vertices.update(self._lg.members(pi))
+        result = frozenset(vertices)
+        self._corridor_cache[key] = result
+        return result
+
     def cache_size(self) -> int:
         """Number of memoised (source, destination) partition pairs."""
         return len(self._cache)
@@ -115,3 +135,4 @@ class PartitionFilter:
         """Drop all memoised results (after re-partitioning)."""
         self._cache.clear()
         self._vertex_cache.clear()
+        self._corridor_cache.clear()

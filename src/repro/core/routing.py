@@ -25,6 +25,8 @@ from __future__ import annotations
 import math
 from collections.abc import Sequence
 
+import numpy as np
+
 from ..fleet.schedule import Stop, arrival_times, deadlines_met
 from ..fleet.taxi import TaxiRoute
 from ..network.geo import cosine_similarity
@@ -44,6 +46,11 @@ MAX_ENUMERATED_PATHS = 400
 #: Extra partition hops allowed beyond the minimum when enumerating
 #: corridors; longer corridors only waste deadline slack.
 CORRIDOR_EXTRA_HOPS = 3
+
+#: Entries kept in a :class:`BasicRouter`'s per-leg path cache before it
+#: resets (a path plus its per-edge costs is tens of machine words, so
+#: the cap bounds the cache around a few tens of MB worst case).
+LEG_CACHE_SIZE = 65536
 
 
 class RouteInfeasible(RuntimeError):
@@ -98,6 +105,12 @@ class BasicRouter:
         self._filter = partition_filter
         self.fallbacks = 0  # legs where filtering had to be bypassed
         self._obs: Instrumentation = NULL
+        # (u, v) -> (path, per-edge costs, leg needed the full-graph
+        # fallback).  leg_path is deterministic per endpoint pair (the
+        # engine's paths and the memoised partition filter never
+        # change), so replaying a cached leg is exact; the flag replays
+        # the fallback bookkeeping too.
+        self._leg_cache: dict[tuple[int, int], tuple[list[int], list[float], bool]] = {}
 
     def instrument(self, obs: Instrumentation) -> None:
         """Attach an observability registry (``repro.obs``)."""
@@ -166,19 +179,57 @@ class BasicRouter:
         with self._obs.stage("route.basic"):
             return self._plan_basic(start_node, start_time, stops)
 
+    def _cached_leg(self, u: int, v: int) -> tuple[list[int], list[float]]:
+        """Leg path plus per-edge travel costs, memoised per endpoint pair.
+
+        A hit replays exactly what recomputing the leg would have done —
+        including the fallback counter when the cached leg needed the
+        full-graph bypass — so observability totals are unchanged by
+        caching.  Callers must not mutate the returned lists.
+        """
+        key = (u, v)
+        entry = self._leg_cache.get(key)
+        if entry is not None:
+            path, costs, fellback = entry
+            self._obs.count("kernel.legcache_hits")
+            if fellback:
+                self.fallbacks += 1
+                self._obs.count("route.fallback_legs")
+            return path, costs
+        before = self.fallbacks
+        path = self.leg_path(u, v)
+        edge_cost = self._network.edge_cost
+        costs = [edge_cost(a, b) for a, b in zip(path, path[1:])]
+        if len(self._leg_cache) >= LEG_CACHE_SIZE:
+            self._leg_cache.clear()
+        self._leg_cache[key] = (path, costs, self.fallbacks != before)
+        self._obs.count("kernel.legcache_misses")
+        return path, costs
+
     def _plan_basic(
         self,
         start_node: int,
         start_time: float,
         stops: Sequence[Stop],
     ) -> TaxiRoute:
-        legs = []
+        # Build the route from cached legs, accumulating times with the
+        # exact sequential adds of compose_route (same floats, same
+        # order -> bit-identical TaxiRoute).
+        nodes = [start_node]
+        times = [start_time]
+        stop_positions = []
         node = start_node
+        t = start_time
         for stop in stops:
-            legs.append(self.leg_path(node, stop.node))
+            path, costs = self._cached_leg(node, stop.node)
+            for c in costs:
+                t = t + c
+                times.append(t)
+            nodes.extend(path[1:])
+            stop_positions.append(len(nodes) - 1)
             node = stop.node
-        route = compose_route(self._network, start_node, start_time, legs)
-        stop_times = [route.times[i] for i in route.stop_positions]
+        route = TaxiRoute(nodes=nodes, times=times, stop_positions=stop_positions)
+        stop_times = [times[i] for i in stop_positions]
         if deadlines_met(stops, stop_times):
             return route
         # The filtered subgraph can miss the true shortest path (one-way
@@ -351,12 +402,14 @@ class ProbabilisticRouter(BasicRouter):
     ) -> list[int] | None:
         """Vertex-weighted shortest path inside the corridor partitions."""
         lg = self._filter.landmark_graph
-        allowed: set[int] = set()
+        # The memoised frozenset keys the induced-subgraph LRU in
+        # ``dijkstra_restricted``: repeated legs through the same
+        # corridor reuse the cached CSR submatrix.
+        allowed = self._filter.corridor_vertices(corridor)
         psi: dict[int, float] = {}
         for pi in corridor:
             dests = self._suitable_destinations(pi, direction)
             for c in lg.members(pi):
-                allowed.add(c)
                 # psi_c: chance of a *suitable* request materialising at
                 # c — the accumulated transition probability towards the
                 # suitable destinations, weighted by how much pick-up
@@ -411,8 +464,6 @@ class ProbabilisticRouter(BasicRouter):
         and approaches it through demand-hot vertices.  Returns ``None``
         when the taxi already stands in the best partition's hot spot.
         """
-        import numpy as np
-
         lg = self._filter.landmark_graph
         here = lg.partition_of(start_node)
         hour = int(start_time // 3600) % 24

@@ -5,6 +5,6 @@ contribution in :mod:`repro.core.mobility_cluster`.
 """
 
 from .partition_index import DEFAULT_HORIZON_S, PartitionTaxiIndex
-from .spatial import GridSpatialIndex
+from .spatial import GridSpatialIndex, StaticVertexGrid
 
-__all__ = ["DEFAULT_HORIZON_S", "GridSpatialIndex", "PartitionTaxiIndex"]
+__all__ = ["DEFAULT_HORIZON_S", "GridSpatialIndex", "PartitionTaxiIndex", "StaticVertexGrid"]

@@ -111,16 +111,30 @@ class PartitionTaxiIndex:
         """Indexed arrival of ``taxi_id`` at ``partition``, if any."""
         return self._by_partition[partition].get(taxi_id)
 
+    def arrival_map(self, partition: int) -> dict[int, float]:
+        """The live taxi -> arrival mapping of one partition.
+
+        Returned by reference so candidate screening can probe a whole
+        pool with plain dict lookups; callers must treat it as
+        read-only.
+        """
+        return self._by_partition[partition]
+
     def partitions_of(self, taxi_id: int) -> set[int]:
         """Partitions currently indexing ``taxi_id``."""
         return set(self._partitions_of_taxi.get(taxi_id, ()))
 
-    def union_taxis(self, partitions) -> set[int]:
-        """Union of the taxi lists of several partitions (Eq. 3 left side)."""
+    def union_taxis(self, partitions) -> list[int]:
+        """Union of the taxi lists of several partitions (Eq. 3 left side).
+
+        Returned in ascending taxi-id order so downstream candidate
+        enumeration (and therefore tie-broken match winners) does not
+        depend on set-iteration order, i.e. on the hash seed.
+        """
         out: set[int] = set()
         for z in partitions:
             out.update(self._by_partition[z])
-        return out
+        return sorted(out)
 
     def total_entries(self) -> int:
         """Total (taxi, partition) index entries — the ``(x+1)M`` term of

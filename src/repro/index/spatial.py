@@ -1,16 +1,24 @@
-"""Uniform-grid spatial index over moving objects (taxis).
+"""Uniform-grid spatial indexes: moving objects and static vertices.
 
 T-Share, pGreedyDP and the No-Sharing baseline all index taxis by the
 grid cell of their current location and answer "taxis within range
-``gamma`` of a point" queries.  The index stores planar positions and
-filters candidates by exact Euclidean distance after the coarse cell
-scan, so results are exact.
+``gamma`` of a point" queries (:class:`GridSpatialIndex`).  The index
+stores planar positions and filters candidates by exact Euclidean
+distance after the coarse cell scan, so results are exact.
+
+:class:`StaticVertexGrid` is the immutable counterpart over *network
+vertices*: buckets are numpy arrays built once with a lexsort, and a
+radius query touches only the O(1) ring of cells around the query
+point instead of scanning every vertex.  The simulator uses it to
+register offline requests (``Simulator._register_offline``).
 """
 
 from __future__ import annotations
 
 import math
 from collections.abc import Iterable
+
+import numpy as np
 
 
 class GridSpatialIndex:
@@ -127,3 +135,78 @@ class GridSpatialIndex:
     def memory_bytes(self) -> int:
         """Rough footprint: cells plus position table."""
         return 96 * len(self._cells) + 72 * len(self._positions)
+
+
+class StaticVertexGrid:
+    """Immutable uniform-cell index over a fixed vertex point set.
+
+    Built once from the network's ``xy`` array; each cell's bucket is a
+    sorted numpy array of vertex ids.  :meth:`query_radius` gathers the
+    ``ceil(r / cell)`` ring of buckets around the query point and
+    applies the exact squared-distance predicate ``d2 <= r**2`` over
+    the candidates — the same predicate (and the same float arithmetic)
+    as a full-array scan, so results are identical to one, in ascending
+    vertex-id order, at O(cell) cost.
+
+    Parameters
+    ----------
+    xy:
+        ``(V, 2)`` array of planar vertex coordinates.
+    cell_size_m:
+        Grid cell edge length; pick it near the typical query radius so
+        a query touches a 3x3 ring.
+    """
+
+    __slots__ = ("_xy", "_cell", "_buckets")
+
+    def __init__(self, xy: np.ndarray, cell_size_m: float = 250.0) -> None:
+        if cell_size_m <= 0:
+            raise ValueError("cell size must be positive")
+        self._xy = np.asarray(xy, dtype=float)
+        self._cell = float(cell_size_m)
+        gx = np.floor(self._xy[:, 0] / self._cell).astype(np.int64)
+        gy = np.floor(self._xy[:, 1] / self._cell).astype(np.int64)
+        order = np.lexsort((gy, gx))
+        sx, sy = gx[order], gy[order]
+        if order.size:
+            change = np.flatnonzero((np.diff(sx) != 0) | (np.diff(sy) != 0)) + 1
+            starts = np.concatenate(([0], change))
+            ends = np.concatenate((change, [order.size]))
+        else:
+            starts = ends = np.empty(0, dtype=np.int64)
+        # lexsort is stable, so each slice of ``order`` is already in
+        # ascending vertex-id order.
+        self._buckets: dict[tuple[int, int], np.ndarray] = {
+            (int(sx[s]), int(sy[s])): order[s:e] for s, e in zip(starts, ends)
+        }
+
+    def __len__(self) -> int:
+        return int(self._xy.shape[0])
+
+    def query_radius(self, x: float, y: float, radius_m: float) -> np.ndarray:
+        """Vertex ids within ``radius_m`` of ``(x, y)``, ascending.
+
+        Bit-identical to ``(d2 <= radius_m**2).nonzero()[0]`` over the
+        full coordinate array.
+        """
+        if radius_m < 0:
+            return np.empty(0, dtype=np.int64)
+        span = math.ceil(radius_m / self._cell)
+        cx = math.floor(x / self._cell)
+        cy = math.floor(y / self._cell)
+        buckets = [
+            b
+            for gx in range(cx - span, cx + span + 1)
+            for gy in range(cy - span, cy + span + 1)
+            if (b := self._buckets.get((gx, gy))) is not None
+        ]
+        if not buckets:
+            return np.empty(0, dtype=np.int64)
+        cand = np.concatenate(buckets)
+        pts = self._xy[cand]
+        d2 = (pts[:, 0] - float(x)) ** 2 + (pts[:, 1] - float(y)) ** 2
+        return np.sort(cand[d2 <= radius_m**2])
+
+    def memory_bytes(self) -> int:
+        """Rough footprint: bucket table plus id arrays."""
+        return 96 * len(self._buckets) + 8 * int(self._xy.shape[0])

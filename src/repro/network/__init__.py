@@ -15,7 +15,13 @@ from .geo import (
 from .generators import grid_city, ring_radial_city, small_test_network
 from .graph import DEFAULT_SPEED_MPS, RoadNetwork, RoadNetworkError
 from .landmarks import LandmarkGraph
-from .shortest_path import PathNotFound, ShortestPathEngine, dijkstra_restricted
+from .shortest_path import (
+    PathNotFound,
+    ShortestPathEngine,
+    clear_subgraph_cache,
+    dijkstra_restricted,
+    subgraph_cache_stats,
+)
 from .traffic import TrafficModel, chengdu_weekend, chengdu_workday, free_flow
 
 __all__ = [
@@ -31,7 +37,9 @@ __all__ = [
     "bearing_deg",
     "centroid",
     "cosine_similarity",
+    "clear_subgraph_cache",
     "dijkstra_restricted",
+    "subgraph_cache_stats",
     "euclidean",
     "grid_city",
     "haversine_m",

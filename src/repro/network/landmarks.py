@@ -72,6 +72,12 @@ class LandmarkGraph:
         )
         self._adjacency = self._build_adjacency()
         self._landmark_cost = self._build_landmark_costs()
+        self._radii_list: list[float] = self._radii.tolist()
+        # (x, y) -> centroid distances as a plain list; the disc test
+        # is then a tiny scalar sweep instead of a fixed-cost numpy
+        # kernel (kappa is small and query centres are vertex
+        # coordinates, so the hit rate is high).
+        self._disc_cache: dict[tuple[float, float], list[float]] = {}
 
     # ------------------------------------------------------------------
     def _medoid(self, part: Sequence[int]) -> int:
@@ -181,10 +187,21 @@ class LandmarkGraph:
         Used for candidate taxi searching: the searching area centred at
         a request origin with radius ``gamma`` is matched against each
         partition's (centroid, radius) bounding disc.
+
+        Centroid distances are computed once per query centre (with
+        ``np.hypot``, so cached and uncached answers are bit-identical)
+        and replayed from a per-coordinate cache; the threshold test
+        itself is the same IEEE add/compare the array kernel performs.
         """
-        d = np.hypot(self._centroids[:, 0] - x, self._centroids[:, 1] - y)
-        hit = d <= (self._radii + radius_m)
-        return [int(z) for z in np.flatnonzero(hit)]
+        key = (x, y)
+        d = self._disc_cache.get(key)
+        if d is None:
+            d = np.hypot(self._centroids[:, 0] - x, self._centroids[:, 1] - y).tolist()
+            if len(self._disc_cache) >= 131072:
+                self._disc_cache.clear()
+            self._disc_cache[key] = d
+        radii = self._radii_list
+        return [z for z in range(len(d)) if d[z] <= radii[z] + radius_m]
 
     def memory_bytes(self) -> int:
         """Approximate footprint of the landmark structures."""

@@ -10,9 +10,15 @@ distributions a dispatcher generates.
 
 :func:`dijkstra_restricted` is the segment-level router used by both
 basic routing (Algorithm 3) and probabilistic routing (Algorithm 4): a
-pure-Python Dijkstra over an arbitrary *allowed vertex set* (the union
-of the partitions that survived partition filtering), optionally with
-additive per-vertex weights.
+Dijkstra over an arbitrary *allowed vertex set* (the union of the
+partitions that survived partition filtering), optionally with additive
+per-vertex weights.  Its default fast path builds the induced CSR
+submatrix of the allowed set — with vertex weights folded into the
+incoming-edge costs — and runs scipy's C Dijkstra; induced subgraphs
+are LRU-cached per (network, corridor) so repeated legs through the
+same corridor skip the rebuild.  The pure-Python heap implementation is
+retained as the reference path (``method="scalar"``) that the kernel
+tests diff against.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from collections import OrderedDict
 from collections.abc import Callable, Collection, Mapping
 
 import numpy as np
+from scipy import sparse
 from scipy.sparse import csgraph
 
 from .graph import RoadNetwork
@@ -31,6 +38,9 @@ FULL_APSP_LIMIT = 6_000
 
 #: Default number of per-source Dijkstra results kept by the lazy cache.
 LAZY_CACHE_SIZE = 4_096
+
+#: Induced corridor subgraphs kept by the restricted-Dijkstra LRU cache.
+SUBGRAPH_CACHE_SIZE = 256
 
 _UNREACHABLE = np.inf
 
@@ -144,6 +154,39 @@ class ShortestPathEngine:
         """Whether ``v`` can be reached from ``u``."""
         return self.distance_m(u, v) != _UNREACHABLE
 
+    def cost_many(self, u: int, vs) -> np.ndarray:
+        """Travel costs (seconds) from ``u`` to every vertex in ``vs``.
+
+        One numpy slice of the cached source tree (full mode: a row of
+        the all-pairs matrix) instead of ``len(vs)`` scalar queries.
+        Entry-wise bit-identical to :meth:`cost`; unreachable targets
+        are ``inf``.
+        """
+        vs = np.asarray(vs, dtype=np.int64)
+        dist, _ = self._source_tree(u)
+        return dist[vs] / self._network.speed_mps
+
+    def cost_matrix(self, us, vs) -> np.ndarray:
+        """``(len(us), len(vs))`` travel-cost matrix in seconds.
+
+        Full mode slices the APSP matrix in one fancy-index operation;
+        lazy mode gathers one cached source tree per *unique* source.
+        ``out[i, j]`` is bit-identical to ``cost(us[i], vs[j])``.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        speed = self._network.speed_mps
+        if self._mode == "full":
+            assert self._dist is not None
+            self.cache_hits += us.size
+            return self._dist[us[:, None], vs[None, :]] / speed
+        uniq, inverse = np.unique(us, return_inverse=True)
+        rows = np.empty((uniq.size, vs.size), dtype=np.float64)
+        for k, u in enumerate(uniq):
+            dist, _ = self._source_tree(int(u))
+            rows[k] = dist[vs]
+        return rows[inverse] / speed
+
     def path(self, u: int, v: int) -> list[int]:
         """Shortest path from ``u`` to ``v`` as a vertex list (inclusive).
 
@@ -162,10 +205,45 @@ class ShortestPathEngine:
         out.reverse()
         return out
 
-    def distances_from(self, source: int) -> np.ndarray:
-        """Vector of shortest distances (metres) from ``source``."""
+    def dist_row(self, source: int) -> np.ndarray:
+        """The raw distance row (metres) of ``source`` — a cached view.
+
+        This is the zero-copy primitive behind the small-batch fast
+        paths: callers hold the row and read single entries with
+        ``row.item(v)``, which matches :meth:`distance_m` bit for bit
+        (``row.item(v) / speed`` equals :meth:`cost`).  Works in both
+        modes; lazy mode computes/caches the source tree on demand.
+        Treat the row as read-only.
+        """
         dist, _ = self._source_tree(source)
-        return dist.copy()
+        return dist
+
+    def dist_col(self, target: int) -> np.ndarray | None:
+        """Distance column (metres) *into* ``target``, or ``None``.
+
+        Only the full all-pairs matrix materialises columns; lazy mode
+        returns ``None`` and callers fall back to the batched
+        :meth:`cost_matrix` query.  ``col.item(u) / speed`` is
+        bit-identical to ``cost(u, target)``.
+        """
+        if self._mode != "full":
+            return None
+        assert self._dist is not None
+        self.cache_hits += 1
+        return self._dist[:, target]
+
+    def distances_from(self, source: int) -> np.ndarray:
+        """Vector of shortest distances (metres) from ``source``.
+
+        Returns a *read-only view* of the cached source tree — callers
+        that need to mutate must copy.  This keeps the per-query cost at
+        O(1) instead of O(V) (the copy used to dominate landmark-cost
+        construction on large networks).
+        """
+        dist, _ = self._source_tree(source)
+        view = dist.view()
+        view.flags.writeable = False
+        return view
 
     def eccentricity_m(self, source: int) -> float:
         """Largest finite shortest-path distance from ``source``."""
@@ -198,12 +276,102 @@ class ShortestPathEngine:
         return total
 
 
+class _InducedSubgraph:
+    """One cached corridor: the induced CSR submatrix of an allowed set."""
+
+    __slots__ = ("nodes", "indptr", "indices", "data_s")
+
+    def __init__(self, network: RoadNetwork, allowed: frozenset) -> None:
+        nodes = np.fromiter(allowed, dtype=np.int64, count=len(allowed))
+        nodes.sort()
+        sub = network.to_csr()[nodes][:, nodes].tocsr()
+        self.nodes = nodes
+        self.indptr = sub.indptr
+        self.indices = sub.indices
+        # Edge lengths become travel times once, at build.
+        self.data_s = sub.data / network.speed_mps
+
+    def local_of(self, v: int) -> int:
+        """Local index of global vertex ``v``, or -1 when absent."""
+        i = int(np.searchsorted(self.nodes, v))
+        if i < self.nodes.size and self.nodes[i] == v:
+            return i
+        return -1
+
+    def matrix(self, vertex_weight_local: np.ndarray | None) -> sparse.csr_matrix:
+        """CSR travel-time matrix, vertex weights folded into in-edges."""
+        data = self.data_s
+        if vertex_weight_local is not None:
+            data = data + vertex_weight_local[self.indices]
+        n = self.nodes.size
+        return sparse.csr_matrix((data, self.indices, self.indptr), shape=(n, n))
+
+    def memory_bytes(self) -> int:
+        return (
+            self.nodes.nbytes + self.indptr.nbytes
+            + self.indices.nbytes + self.data_s.nbytes
+        )
+
+
+#: LRU of induced corridor subgraphs keyed by (network, frozen allowed set).
+_SUBGRAPH_CACHE: OrderedDict[tuple, _InducedSubgraph] = OrderedDict()
+_SUBGRAPH_STATS = {"hits": 0, "builds": 0}
+
+
+def _induced_subgraph(network: RoadNetwork, allowed: frozenset) -> _InducedSubgraph:
+    key = (network, allowed)
+    cached = _SUBGRAPH_CACHE.get(key)
+    if cached is not None:
+        _SUBGRAPH_CACHE.move_to_end(key)
+        _SUBGRAPH_STATS["hits"] += 1
+        return cached
+    _SUBGRAPH_STATS["builds"] += 1
+    sub = _InducedSubgraph(network, allowed)
+    _SUBGRAPH_CACHE[key] = sub
+    while len(_SUBGRAPH_CACHE) > SUBGRAPH_CACHE_SIZE:
+        _SUBGRAPH_CACHE.popitem(last=False)
+    return sub
+
+
+def subgraph_cache_stats() -> dict[str, int]:
+    """Hit/build/size snapshot of the corridor-subgraph LRU cache."""
+    return {
+        "hits": _SUBGRAPH_STATS["hits"],
+        "builds": _SUBGRAPH_STATS["builds"],
+        "entries": len(_SUBGRAPH_CACHE),
+        "memory_bytes": sum(s.memory_bytes() for s in _SUBGRAPH_CACHE.values()),
+    }
+
+
+def clear_subgraph_cache() -> None:
+    """Drop every cached corridor subgraph (tests / repartitioning)."""
+    _SUBGRAPH_CACHE.clear()
+    _SUBGRAPH_STATS["hits"] = 0
+    _SUBGRAPH_STATS["builds"] = 0
+
+
+def _resolve_weight_fn(
+    vertex_weight: Mapping[int, float] | Callable[[int], float] | None,
+) -> Callable[[int], float] | None:
+    if vertex_weight is None:
+        return None
+    if callable(vertex_weight):
+        return vertex_weight
+    mapping = vertex_weight
+
+    def weight_of(v: int) -> float:
+        return mapping.get(v, 0.0)
+
+    return weight_of
+
+
 def dijkstra_restricted(
     network: RoadNetwork,
     source: int,
     target: int,
     allowed: Collection[int] | None = None,
     vertex_weight: Mapping[int, float] | Callable[[int], float] | None = None,
+    method: str = "auto",
 ) -> tuple[float, list[int]]:
     """Dijkstra from ``source`` to ``target`` over an allowed vertex set.
 
@@ -217,32 +385,85 @@ def dijkstra_restricted(
         probabilistic routing where vertex ``v_c`` carries weight
         ``1 / psi_c`` (Algorithm 4, step 3).  May be a mapping (missing
         vertices cost 0) or a callable.
+    method:
+        ``"auto"`` (default) runs scipy's C Dijkstra on the induced CSR
+        submatrix of ``allowed`` (LRU-cached per corridor), falling
+        back to the scalar path when the endpoints lie outside
+        ``allowed``; ``"csr"`` forces the fast path; ``"scalar"``
+        forces the pure-Python reference implementation.
 
     Returns
     -------
     (cost, path):
         ``cost`` is the generalised path cost in seconds (edge travel
-        times plus vertex weights); ``path`` the vertex list.
+        times plus vertex weights); ``path`` the vertex list.  When
+        equal-cost paths exist the two methods may return different
+        (equally cheap) vertex sequences.
 
     Raises
     ------
     PathNotFound
         When ``target`` is unreachable within ``allowed``.
     """
+    if method not in ("auto", "csr", "scalar"):
+        raise ValueError(f"unknown method {method!r}")
+    if method != "scalar" and allowed is not None:
+        if not isinstance(allowed, frozenset):
+            allowed = frozenset(allowed)
+        if source in allowed and target in allowed:
+            return _dijkstra_restricted_csr(network, source, target, allowed, vertex_weight)
+        if method == "csr":
+            raise ValueError("csr method requires source and target inside `allowed`")
+    return _dijkstra_restricted_scalar(network, source, target, allowed, vertex_weight)
+
+
+def _dijkstra_restricted_csr(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    allowed: frozenset,
+    vertex_weight: Mapping[int, float] | Callable[[int], float] | None,
+) -> tuple[float, list[int]]:
+    """CSR fast path: scipy Dijkstra on the cached induced subgraph."""
+    sub = _induced_subgraph(network, allowed)
+    ls = sub.local_of(source)
+    lt = sub.local_of(target)
+    if source == target:
+        return 0.0, [source]
+    weight_of = _resolve_weight_fn(vertex_weight)
+    w_local = None
+    if weight_of is not None:
+        w_local = np.fromiter(
+            (weight_of(int(v)) for v in sub.nodes), dtype=np.float64, count=sub.nodes.size
+        )
+    dist, pred = csgraph.dijkstra(
+        sub.matrix(w_local), directed=True, indices=ls, return_predecessors=True
+    )
+    if not np.isfinite(dist[lt]):
+        raise PathNotFound(
+            f"no path from {source} to {target} within the allowed vertex set"
+        )
+    local_path = [lt]
+    node = lt
+    while node != ls:
+        node = int(pred[node])
+        local_path.append(node)
+    local_path.reverse()
+    return float(dist[lt]), [int(sub.nodes[i]) for i in local_path]
+
+
+def _dijkstra_restricted_scalar(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    allowed: Collection[int] | None,
+    vertex_weight: Mapping[int, float] | Callable[[int], float] | None,
+) -> tuple[float, list[int]]:
+    """Reference implementation: pure-Python heap Dijkstra."""
     if allowed is not None and not isinstance(allowed, (set, frozenset)):
         allowed = set(allowed)
 
-    if vertex_weight is None:
-        def weight_of(_v: int) -> float:
-            return 0.0
-    elif callable(vertex_weight):
-        weight_of = vertex_weight
-    else:
-        mapping = vertex_weight
-
-        def weight_of(v: int) -> float:
-            return mapping.get(v, 0.0)
-
+    weight_of = _resolve_weight_fn(vertex_weight)
     speed = network.speed_mps
     dist: dict[int, float] = {source: 0.0}
     prev: dict[int, int] = {}
@@ -265,7 +486,11 @@ def dijkstra_restricted(
                 continue
             if allowed is not None and v != target and v not in allowed:
                 continue
-            nd = d + length / speed + weight_of(v)
+            # The vertex weight is folded into the edge cost *before*
+            # adding to ``d`` so the accumulation order matches the CSR
+            # fast path bit for bit.
+            edge = length / speed if weight_of is None else length / speed + weight_of(v)
+            nd = d + edge
             if nd < dist.get(v, _UNREACHABLE):
                 dist[v] = nd
                 prev[v] = u

@@ -26,6 +26,8 @@ from ..baselines.base import DispatchScheme
 from ..core.payment import PaymentModel
 from ..demand.request import RideRequest
 from ..fleet.taxi import FleetLog, Taxi
+from ..index.spatial import StaticVertexGrid
+from ..network.shortest_path import subgraph_cache_stats
 from ..obs import Instrumentation, JsonlTraceWriter
 from .metrics import SimulationMetrics
 
@@ -111,6 +113,9 @@ class Simulator:
         # expired so duplicate bucket entries are skipped lazily.
         self._offline_pool: dict[int, list[RideRequest]] = defaultdict(list)
         self._offline_done: set[int] = set()
+        # Vertex grid for catchment lookups; built lazily on the first
+        # offline request so online-only workloads pay nothing.
+        self._vertex_grid: StaticVertexGrid | None = None
         self._was_busy: dict[int, bool] = {}
         self._now = 0.0
 
@@ -243,11 +248,18 @@ class Simulator:
                 self._scheme.maybe_cruise(taxi, now)
 
     def _register_offline(self, request: RideRequest) -> None:
-        """Expose an offline request to every vertex it can hail from."""
-        xy = self._scheme.network.xy
-        ox, oy = xy[request.origin]
-        d2 = (xy[:, 0] - float(ox)) ** 2 + (xy[:, 1] - float(oy)) ** 2
-        catchment = (d2 <= self._encounter_radius**2).nonzero()[0]
+        """Expose an offline request to every vertex it can hail from.
+
+        Catchment lookup is O(cell) through a static vertex grid
+        instead of an O(V) full-network scan; the grid's exact distance
+        predicate keeps the catchment set identical to the scan's.
+        """
+        if self._vertex_grid is None:
+            cell = max(self._encounter_radius, 1.0)
+            self._vertex_grid = StaticVertexGrid(self._scheme.network.xy, cell_size_m=cell)
+        ox, oy = self._scheme.network.xy[request.origin]
+        catchment = self._vertex_grid.query_radius(float(ox), float(oy), self._encounter_radius)
+        self._obs.count("kernel.grid_catchment_queries")
         for node in catchment:
             self._offline_pool[int(node)].append(request)
         if catchment.size == 0:
@@ -341,6 +353,7 @@ class Simulator:
         engine = self._scheme.engine
         cache_hits0 = engine.cache_hits
         cache_misses0 = engine.cache_misses
+        subgraph0 = subgraph_cache_stats()
         self._metrics.num_requests = len(self._requests)
         self._metrics.num_online = sum(1 for r in self._requests if not r.offline)
         self._metrics.num_offline = self._metrics.num_requests - self._metrics.num_online
@@ -387,6 +400,11 @@ class Simulator:
         obs.gauge("spe.cache_hits", engine.cache_hits - cache_hits0)
         obs.gauge("spe.cache_misses", engine.cache_misses - cache_misses0)
         obs.gauge("spe.cache_entries", engine.lazy_cache_len)
+        subgraph = subgraph_cache_stats()
+        obs.gauge("kernel.subgraph_hits", subgraph["hits"] - subgraph0["hits"])
+        obs.gauge("kernel.subgraph_builds", subgraph["builds"] - subgraph0["builds"])
+        obs.gauge("kernel.subgraph_entries", subgraph["entries"])
+        obs.gauge("kernel.subgraph_memory_bytes", subgraph["memory_bytes"])
         self._scheme.collect_observability(obs)
         self._metrics.stages = obs.stage_snapshot()
         self._metrics.counters = obs.counter_snapshot()

@@ -288,3 +288,28 @@ class TestMetricsSummary:
     def test_service_rate(self, peak_runs):
         m = peak_runs["mt-share"][1]
         assert m.service_rate == pytest.approx(m.served / m.num_requests)
+
+
+class TestDeterminism:
+    """Two identical runs must produce identical assignments.
+
+    Regression for hash-seed-dependent candidate ordering:
+    ``PartitionTaxiIndex.union_taxis`` returns sorted ids so the
+    tie-broken match winners do not depend on set-iteration order.
+    """
+
+    @pytest.mark.parametrize("name", ["mt-share", "t-share"])
+    def test_identical_runs_identical_assignments(self, test_scenario, name):
+        def run_once():
+            sim = Simulator(
+                test_scenario.make_scheme(name),
+                test_scenario.make_fleet(15, seed=1),
+                test_scenario.requests(),
+            )
+            sim.run()
+            return {
+                rid: (trip.taxi_id, trip.assign_time, trip.pickup_time, trip.dropoff_time)
+                for rid, trip in sim.log.trips.items()
+            }
+
+        assert run_once() == run_once()

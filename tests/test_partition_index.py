@@ -57,9 +57,16 @@ class TestUpdates:
         idx.update_taxi(1, {0: 1.0})
         idx.update_taxi(2, {1: 1.0})
         idx.update_taxi(3, {0: 1.0, 2: 2.0})
-        assert idx.union_taxis([0, 1]) == {1, 2, 3}
-        assert idx.union_taxis([2]) == {3}
-        assert idx.union_taxis([]) == set()
+        assert idx.union_taxis([0, 1]) == [1, 2, 3]
+        assert idx.union_taxis([2]) == [3]
+        assert idx.union_taxis([]) == []
+
+    def test_union_sorted_by_id(self):
+        # Candidate enumeration order must not depend on the hash seed.
+        idx = PartitionTaxiIndex(2)
+        for taxi_id in (17, 3, 42, 8, 25):
+            idx.update_taxi(taxi_id, {0: float(taxi_id)})
+        assert idx.union_taxis([0, 1]) == [3, 8, 17, 25, 42]
 
 
 class TestFromRoute:
