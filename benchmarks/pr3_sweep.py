@@ -1,0 +1,177 @@
+"""Artifact-store / parallel-executor benchmark (BENCH_PR3.json).
+
+Measures the wall-clock of one multi-figure sweep under the four cells
+
+    {cold store, warm store} x {workers=1, workers=4}
+
+and asserts the *decisions* (served / candidate / insertion totals and
+the bitwise waiting-time stream) are identical in every cell — the
+store and the executor are pure performance layers.
+
+Usage::
+
+    python benchmarks/pr3_sweep.py --out BENCH_PR3.json          # full
+    python benchmarks/pr3_sweep.py --tiny --workers 2 --out ...  # CI smoke
+
+The orchestrator spawns one fresh interpreter per cell so "cold" and
+"warm" describe the store, never in-process caches.  Cell processes
+re-enter this file with ``--cell``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+#: Figures swept in every cell; chosen to exercise both scenarios and
+#: extra partition builds (fig14a sweeps kappa, table5 adds grid).
+SWEEP_FIGURES = ("fig6", "fig7", "fig8", "fig9", "table3", "fig14a", "table5")
+
+#: Scenario seeds for the robustness ablation: each is a full scenario
+#: (re)build, which is what the artifact store amortises.
+SWEEP_SEEDS = (7, 11, 13, 17, 19)
+TINY_SEEDS = (3, 4)
+
+
+def _micro_scale():
+    from dataclasses import replace
+
+    from repro.experiments.runner import BenchScale
+    from repro.sim.scenario import ScenarioSpec
+
+    peak = ScenarioSpec(
+        kind="peak", grid_rows=8, grid_cols=8, spacing_m=180.0,
+        hourly_requests=120, history_days=2, num_partitions=9,
+        offline_count=10, seed=3,
+    )
+    return BenchScale(
+        name="tiny", peak=peak, nonpeak=replace(peak, kind="nonpeak"),
+        taxi_counts=(15, 25), default_taxis=25,
+    )
+
+
+def run_cell(tiny: bool, workers: int) -> dict:
+    """Execute the sweep in this process; returns timing + fingerprint."""
+    import numpy as np
+
+    from repro import artifacts
+    from repro.experiments.ablations import ablation_seed_robustness
+    from repro.experiments.figures import figure_run_keys
+    from repro.experiments.runner import _CACHE, bench_scale, collect_keys, run_many
+
+    scale = _micro_scale() if tiny else bench_scale()
+    seeds = TINY_SEEDS if tiny else SWEEP_SEEDS
+
+    start = time.perf_counter()
+    keys = figure_run_keys(SWEEP_FIGURES, scale)
+    keys += [
+        k for k in collect_keys(ablation_seed_robustness, scale, seeds)
+        if k not in keys
+    ]
+    run_many(keys, workers=workers)
+    wall_s = time.perf_counter() - start
+
+    waiting = hashlib.sha256()
+    detour = hashlib.sha256()
+    served = candidates = insertions = 0
+    for key in keys:
+        m = _CACHE[key]
+        served += m.served
+        candidates += int(sum(m.candidate_counts))
+        insertions += int(m.counters.get("match.insertions_evaluated", 0))
+        waiting.update(np.asarray(m.waiting_times_s, dtype=np.float64).tobytes())
+        detour.update(np.asarray(m.detour_times_s, dtype=np.float64).tobytes())
+
+    return {
+        "wall_s": round(wall_s, 3),
+        "num_runs": len(keys),
+        "workers": workers,
+        "fingerprint": {
+            "served_total": served,
+            "candidates_total": candidates,
+            "insertions_total": insertions,
+            "waiting_sha256": waiting.hexdigest(),
+            "detour_sha256": detour.hexdigest(),
+        },
+        "artifact_store": artifacts.stats(),
+    }
+
+
+def _spawn_cell(store_dir: str, workers: int, tiny: bool, label: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_ARTIFACT_DIR"] = store_dir
+    args = [sys.executable, os.path.abspath(__file__), "--cell", "--workers", str(workers)]
+    if tiny:
+        args.append("--tiny")
+    print(f"[pr3] cell {label}: workers={workers} store={store_dir}", flush=True)
+    out = subprocess.run(args, env=env, capture_output=True, text=True)
+    if out.returncode != 0:
+        sys.stderr.write(out.stdout + out.stderr)
+        raise SystemExit(f"cell {label} failed")
+    cell = json.loads(out.stdout.strip().splitlines()[-1])
+    print(f"[pr3] cell {label}: {cell['wall_s']}s over {cell['num_runs']} runs", flush=True)
+    return cell
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cell", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--tiny", action="store_true",
+                        help="micro scenario + fewer seeds (CI smoke)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", default="BENCH_PR3.json")
+    args = parser.parse_args()
+
+    if args.cell:
+        print(json.dumps(run_cell(args.tiny, args.workers)))
+        return 0
+
+    with tempfile.TemporaryDirectory(prefix="repro-pr3-") as tmp:
+        store_a = os.path.join(tmp, "store-a")
+        store_b = os.path.join(tmp, "store-b")
+        cells = {
+            "cold_workers1": _spawn_cell(store_a, 1, args.tiny, "cold/seq"),
+            "cold_workers4": _spawn_cell(store_b, args.workers, args.tiny, "cold/par"),
+            "warm_workers1": _spawn_cell(store_a, 1, args.tiny, "warm/seq"),
+            "warm_workers4": _spawn_cell(store_a, args.workers, args.tiny, "warm/par"),
+        }
+
+    prints = {name: cell["fingerprint"] for name, cell in cells.items()}
+    reference = prints["cold_workers1"]
+    for name, fp in prints.items():
+        if fp != reference:
+            raise SystemExit(
+                f"fingerprint mismatch in {name}:\n {fp}\n != {reference}"
+            )
+
+    speedup = cells["cold_workers1"]["wall_s"] / cells["warm_workers4"]["wall_s"]
+    report = {
+        "benchmark": "pr3_artifact_store_parallel_sweep",
+        "scale": "tiny" if args.tiny else os.environ.get("REPRO_BENCH_SCALE", "quick"),
+        "figures": list(SWEEP_FIGURES) + ["ablation:seed_robustness"],
+        "seeds": list(TINY_SEEDS if args.tiny else SWEEP_SEEDS),
+        "cells": cells,
+        "metrics_identical": True,
+        "speedup_warm4_vs_cold1": round(speedup, 2),
+        "cpu_count": os.cpu_count(),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"[pr3] metrics identical across all 4 cells; "
+          f"speedup warm+{args.workers}w vs cold+1w: {speedup:.2f}x -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

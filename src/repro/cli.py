@@ -1,12 +1,16 @@
 """Command-line interface: run simulations and regenerate paper figures.
 
-Exposed as ``python -m repro``.  Three subcommands:
+Exposed as ``python -m repro``.  Four subcommands:
 
 ``simulate``
     Run one scheme on one scenario and print the metric summary.
 ``experiment``
     Regenerate one of the paper's tables/figures (or an ablation) and
-    print its rows.
+    print its rows; ``--workers N`` (or ``REPRO_WORKERS``) fans the
+    underlying simulations out over worker processes.
+``cache``
+    Inspect, warm, or clear the persistent preprocessing artifact
+    store (see :mod:`repro.artifacts`).
 ``list``
     List the available schemes, experiments and ablations.
 """
@@ -16,13 +20,18 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import artifacts
 from .core.payment import PaymentModel
 from .experiments.ablations import ALL_ABLATIONS
-from .experiments.figures import ALL_EXPERIMENTS
+from .experiments.figures import ALL_EXPERIMENTS, NON_RUN_FIGURES, figure_run_keys
 from .experiments.reporting import observability_table
-from .experiments.runner import bench_scale
+from .experiments.runner import bench_scale, collect_keys, default_workers, run_many
 from .sim.engine import Simulator
 from .sim.scenario import SCHEME_NAMES, ScenarioSpec, get_scenario
+
+#: Ablations that drive the simulator directly instead of going through
+#: ``runner.run`` — a planning pass over them would execute real work.
+NON_RUN_ABLATIONS = frozenset({"redispatch"})
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,6 +61,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(list(ALL_EXPERIMENTS) + list(ALL_ABLATIONS)))
+    exp.add_argument("--workers", type=int, default=None,
+                     help="parallel sweep workers (default: REPRO_WORKERS or 1)")
+
+    cache = sub.add_parser("cache", help="manage the preprocessing artifact store")
+    cache.add_argument("action", choices=("info", "warm", "clear"))
+    cache.add_argument("--experiments", nargs="*", default=None, metavar="NAME",
+                       help="experiments to warm artifacts for (default: all figures)")
 
     sub.add_parser("list", help="list schemes, experiments, ablations")
     return parser
@@ -97,8 +113,50 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     fn = ALL_EXPERIMENTS.get(args.name, ALL_ABLATIONS.get(args.name))
-    result = fn(bench_scale())
+    scale = bench_scale()
+    workers = args.workers if args.workers is not None else default_workers()
+    plannable = args.name not in NON_RUN_FIGURES and args.name not in NON_RUN_ABLATIONS
+    if workers > 1 and plannable:
+        keys = collect_keys(fn, scale)
+        print(f"Sweeping {len(keys)} runs across {workers} workers...")
+        run_many(keys, workers=workers)
+    result = fn(scale)
     result.print()
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = artifacts.get_store()
+    if store is None:
+        print(f"artifact store disabled ({artifacts.ARTIFACT_DIR_ENV} is 'off')")
+        return 0 if args.action == "info" else 1
+    if args.action == "info":
+        print(f"artifact store: {store.root}")
+        info = store.info()
+        if not info:
+            print("  (empty)")
+        total = 0
+        for kind, row in info.items():
+            total += row["bytes"]
+            print(f"  {kind:10s} {row['artifacts']:4d} artifacts  {row['bytes'] / 1e6:8.2f} MB")
+        if info:
+            print(f"  {'total':10s} {sum(r['artifacts'] for r in info.values()):4d} artifacts"
+                  f"  {total / 1e6:8.2f} MB")
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifacts from {store.root}")
+        return 0
+    # warm: build (or touch) every artifact the selected experiments need.
+    names = args.experiments or None
+    keys = figure_run_keys(names)
+    specs = {k.spec for k in keys}
+    print(f"Warming artifacts for {len(keys)} runs ({len(specs)} scenarios)...")
+    from .experiments.runner import _warm_store
+
+    _warm_store(keys)
+    for kind, row in store.info().items():
+        print(f"  {kind:10s} {row['artifacts']:4d} artifacts  {row['bytes'] / 1e6:8.2f} MB")
     return 0
 
 
@@ -117,6 +175,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return _cmd_list()
 
 

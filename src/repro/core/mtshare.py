@@ -46,6 +46,10 @@ class MTShare(DispatchScheme):
         Optional hour-aware pick-up predictor
         (:class:`~repro.demand.prediction.DemandPredictor`); when given,
         idle cruising targets the partitions hot at the current hour.
+    landmarks:
+        Optional prebuilt :class:`LandmarkGraph` for ``partitioning``
+        (e.g. restored from the artifact store); built from scratch
+        when omitted.
     """
 
     name = "mT-Share"
@@ -58,12 +62,19 @@ class MTShare(DispatchScheme):
         partitioning: MapPartitioning,
         probabilistic: bool = False,
         demand_predictor=None,
+        landmarks: LandmarkGraph | None = None,
     ) -> None:
         super().__init__(network, engine, config)
         if probabilistic and partitioning.transition_model is None:
             raise ValueError("probabilistic routing needs a fitted transition model")
         self._partitioning = partitioning
-        self._landmarks = LandmarkGraph(network, partitioning.partitions, engine)
+        if landmarks is not None and landmarks.num_partitions != partitioning.num_partitions:
+            raise ValueError("landmarks do not match the supplied partitioning")
+        self._landmarks = (
+            landmarks
+            if landmarks is not None
+            else LandmarkGraph(network, partitioning.partitions, engine)
+        )
         self._filter = PartitionFilter(self._landmarks, lam=config.lam, epsilon=config.epsilon)
         self._basic_router = BasicRouter(network, engine, self._filter)
         self._prob_router = None

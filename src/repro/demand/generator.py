@@ -155,6 +155,9 @@ class ChengduLikeDemand:
         if concentration <= 0:
             raise ValueError("concentration must be positive")
         self._network = network
+        self._seed = int(seed)
+        self._num_zones = int(num_zones)
+        self._vertices_per_zone = int(vertices_per_zone)
         self._rng = np.random.default_rng(seed)
         self._hourly_requests = int(hourly_requests)
         self._num_taxis = int(num_taxis_in_trace)
@@ -303,6 +306,38 @@ class ChengduLikeDemand:
             for hour in range(24):
                 rows.extend(self.generate_hour(day, hour, weekend=weekend, rate_scale=rate_scale))
         return self._to_dataset(rows)
+
+    def spec_dict(self) -> dict:
+        """The parameters that fully determine generated traces.
+
+        Used by the artifact store to key persisted traces: two
+        generators with equal spec dicts (on equal networks) produce
+        bit-identical datasets from the same call sequence.
+        """
+        return {
+            "num_zones": self._num_zones,
+            "vertices_per_zone": self._vertices_per_zone,
+            "hourly_requests": self._hourly_requests,
+            "num_taxis_in_trace": self._num_taxis,
+            "concentration": self._concentration,
+            "seed": self._seed,
+        }
+
+    def replay_days_rng(self, num_days: int, num_rows: int) -> None:
+        """Advance the internal RNG exactly as ``generate_days`` would.
+
+        The artifact store persists generated traces; a process that
+        loads one skips the sampling but must leave this object's RNG in
+        the *same state* a fresh generation would have, so later calls
+        (e.g. ``generate_window`` for the Fig. 21 workloads) stay
+        bit-identical between cold and warm processes.  ``generate_days``
+        consumes exactly one scalar seed draw per generated hour (the
+        per-trip sampling runs on derived generators) plus one taxi-id
+        array draw of the final row count — replayed here verbatim.
+        """
+        for _ in range(24 * num_days):
+            self._rng.integers(2**63)
+        self._rng.integers(0, max(self._num_taxis, 1), size=num_rows)
 
     def _to_dataset(self, rows: list[tuple[float, int, int]]) -> TripDataset:
         rng = self._rng

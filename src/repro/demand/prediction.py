@@ -71,6 +71,18 @@ class DemandPredictor:
         """Number of partitions covered."""
         return self._rates.shape[0]
 
+    @property
+    def rates(self) -> np.ndarray:
+        """Read-only view of the ``(num_partitions, 24)`` rate table.
+
+        This is the whole fitted state, so persisting it (the artifact
+        store does) and reconstructing via ``DemandPredictor(rates)``
+        is an exact round trip.
+        """
+        view = self._rates.view()
+        view.flags.writeable = False
+        return view
+
     def rate(self, partition: int, hour: int) -> float:
         """Expected pick-ups per hour in ``partition`` at hour-of-day."""
         return float(self._rates[partition, hour % 24])

@@ -10,6 +10,8 @@ see what each buys.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from .reporting import ExperimentResult
 from .runner import BenchScale, RunKey, bench_scale, run
 
@@ -135,9 +137,48 @@ def ablation_redispatch(scale: BenchScale | None = None) -> ExperimentResult:
     return result
 
 
+def ablation_seed_robustness(scale: BenchScale | None = None,
+                             seeds: tuple[int, ...] = (7, 11, 13)) -> ExperimentResult:
+    """Headline peak metrics across scenario seeds.
+
+    Each seed is a fresh synthetic substrate — network perturbation,
+    demand zones, trace, partitions — so this checks the comparative
+    results are not an artifact of one draw.  It is also the most
+    preprocessing-heavy sweep in the suite (every seed rebuilds all
+    scenario artifacts), which makes it the showcase workload for the
+    artifact store and the parallel executor.
+    """
+    scale = scale or bench_scale()
+    result = ExperimentResult(
+        title="Ablation: scenario-seed robustness (mT-Share, peak)",
+        x_label="spec_seed",
+        x_values=list(seeds),
+        y_label="value",
+    )
+    served = []
+    waiting = []
+    detour = []
+    for seed in seeds:
+        metrics = run(
+            RunKey(
+                spec=replace(scale.peak, seed=seed),
+                scheme="mt-share",
+                num_taxis=scale.default_taxis,
+            )
+        )
+        served.append(metrics.served)
+        waiting.append(round(metrics.avg_waiting_min, 2))
+        detour.append(round(metrics.avg_detour_min, 2))
+    result.add_series("served", served)
+    result.add_series("waiting_min", waiting)
+    result.add_series("detour_min", detour)
+    return result
+
+
 ALL_ABLATIONS = {
     "adaptive_gamma": ablation_adaptive_gamma,
     "steering": ablation_steering,
     "cruising": ablation_cruising,
     "redispatch": ablation_redispatch,
+    "seed_robustness": ablation_seed_robustness,
 }

@@ -510,6 +510,36 @@ def fig21_scalability(scale: BenchScale | None = None,
     return result
 
 
+#: Experiments that do not route their work through :func:`run` (they
+#: read the trace or drive the simulator directly), so a planning pass
+#: over them yields nothing to parallelise.
+NON_RUN_FIGURES = frozenset({"fig5", "fig21"})
+
+
+def figure_run_keys(
+    names: tuple[str, ...] | list[str] | None = None,
+    scale: BenchScale | None = None,
+) -> list[RunKey]:
+    """The unique RunKeys the named experiments would simulate.
+
+    A planning pass (see :func:`repro.experiments.runner.collect_keys`)
+    over each experiment function; figures in :data:`NON_RUN_FIGURES`
+    are skipped.  Feed the result to ``run_many`` to execute a whole
+    multi-figure sweep in parallel, then call the experiment functions
+    normally — every run is recalled from the memo cache.
+    """
+    from .runner import collect_keys
+
+    if names is None:
+        names = [n for n in ALL_EXPERIMENTS if n not in NON_RUN_FIGURES]
+    keys: list[RunKey] = []
+    for name in names:
+        if name in NON_RUN_FIGURES:
+            continue
+        keys.extend(collect_keys(ALL_EXPERIMENTS[name], scale))
+    return list(dict.fromkeys(keys))
+
+
 #: Registry used by the benchmark suite and the EXPERIMENTS.md generator.
 ALL_EXPERIMENTS = {
     "fig5": fig5_dataset_stats,

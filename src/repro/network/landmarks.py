@@ -80,6 +80,64 @@ class LandmarkGraph:
         self._disc_cache: dict[tuple[float, float], list[float]] = {}
 
     # ------------------------------------------------------------------
+    # artifact-store serialisation
+    # ------------------------------------------------------------------
+    def to_tables(self) -> dict[str, np.ndarray]:
+        """The landmark tables as named arrays for the artifact store.
+
+        Adjacency sets are flattened CSR-style (``adj_indptr`` +
+        ``adj_indices``, neighbours sorted per row) so the round trip is
+        deterministic.
+        """
+        indptr = np.zeros(len(self._partitions) + 1, dtype=np.int64)
+        rows: list[int] = []
+        for z, neigh in enumerate(self._adjacency):
+            ordered = sorted(neigh)
+            rows.extend(ordered)
+            indptr[z + 1] = indptr[z] + len(ordered)
+        return {
+            "landmarks": np.asarray(self._landmarks, dtype=np.int64),
+            "centroids": self._centroids,
+            "radii": self._radii,
+            "partition_of": self._partition_of,
+            "landmark_cost": self._landmark_cost,
+            "adj_indptr": indptr,
+            "adj_indices": np.asarray(rows, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_tables(
+        cls,
+        network: RoadNetwork,
+        partitions: Sequence[Sequence[int]],
+        tables: dict[str, np.ndarray],
+    ) -> "LandmarkGraph":
+        """Rebuild a landmark graph from stored tables without an engine.
+
+        The tables must have been produced by :meth:`to_tables` on the
+        same network/partitioning; behaviour is bit-identical to a fresh
+        build because every derived structure is restored verbatim.
+        """
+        self = cls.__new__(cls)
+        self._network = network
+        self._engine = None  # only needed at build time
+        self._partitions = [list(part) for part in partitions]
+        self._partition_of = np.asarray(tables["partition_of"], dtype=np.int64).copy()
+        self._landmarks = [int(v) for v in np.asarray(tables["landmarks"])]
+        self._centroids = np.asarray(tables["centroids"], dtype=np.float64).copy()
+        self._radii = np.asarray(tables["radii"], dtype=np.float64).copy()
+        indptr = np.asarray(tables["adj_indptr"], dtype=np.int64)
+        indices = np.asarray(tables["adj_indices"], dtype=np.int64)
+        self._adjacency = [
+            {int(v) for v in indices[indptr[z]:indptr[z + 1]]}
+            for z in range(len(self._partitions))
+        ]
+        self._landmark_cost = np.asarray(tables["landmark_cost"], dtype=np.float64).copy()
+        self._radii_list = self._radii.tolist()
+        self._disc_cache = {}
+        return self
+
+    # ------------------------------------------------------------------
     def _medoid(self, part: Sequence[int]) -> int:
         """Member vertex minimising total distance to other members."""
         if len(part) == 1:
@@ -104,7 +162,13 @@ class LandmarkGraph:
             if pu != pv:
                 adjacency[pu].add(pv)
                 adjacency[pv].add(pu)
-        return adjacency
+        # Re-insert each set in sorted order: small-int sets iterate in an
+        # insertion-dependent order when hash slots collide, and corridor
+        # enumeration in probabilistic routing iterates these sets under a
+        # path budget.  Sorted insertion gives a fresh build the exact
+        # layout :meth:`from_tables` produces (its CSR rows are stored
+        # sorted), so cold and store-warmed runs take identical corridors.
+        return [set(sorted(neigh)) for neigh in adjacency]
 
     def _build_landmark_costs(self) -> np.ndarray:
         speed = self._network.speed_mps

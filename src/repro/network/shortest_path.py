@@ -62,6 +62,12 @@ class ShortestPathEngine:
         picks ``"full"`` below :data:`FULL_APSP_LIMIT` vertices.
     cache_size:
         Number of source trees retained in ``"lazy"`` mode.
+    full_arrays:
+        Optional precomputed ``(dist, pred)`` matrices for ``"full"``
+        mode — typically memory-mapped ``.npy`` views served by the
+        artifact store (:mod:`repro.artifacts`), so concurrent sweep
+        workers share pages zero-copy instead of each running (and
+        holding) its own all-pairs Dijkstra.  Ignored in lazy mode.
     """
 
     def __init__(
@@ -69,6 +75,7 @@ class ShortestPathEngine:
         network: RoadNetwork,
         mode: str = "auto",
         cache_size: int = LAZY_CACHE_SIZE,
+        full_arrays: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> None:
         if mode not in ("auto", "full", "lazy"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -88,8 +95,26 @@ class ShortestPathEngine:
         self.cache_hits = 0
         #: Lazy-mode queries that had to run a fresh single-source Dijkstra.
         self.cache_misses = 0
+        #: Whether this engine ran the all-pairs Dijkstra itself (False
+        #: when the matrices were injected, e.g. from the artifact store).
+        self.full_built = False
+        #: Whether the full matrices are memory-mapped (zero-copy).
+        self.full_mmapped = False
         if mode == "full":
-            self._build_full()
+            if full_arrays is not None:
+                dist, pred = full_arrays
+                n = network.num_vertices
+                if dist.shape != (n, n) or pred.shape != (n, n):
+                    raise ValueError(
+                        f"full_arrays must both be ({n}, {n}); "
+                        f"got {dist.shape} and {pred.shape}"
+                    )
+                self._dist = dist
+                self._pred = pred
+                self.full_mmapped = isinstance(dist, np.memmap)
+            else:
+                self._build_full()
+                self.full_built = True
 
     # ------------------------------------------------------------------
     @property
@@ -264,8 +289,23 @@ class ShortestPathEngine:
             "entries": len(self._lazy),
         }
 
+    def full_matrices(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """The ``(dist, pred)`` all-pairs matrices, or ``None`` in lazy mode.
+
+        Used by the artifact store to persist a freshly built matrix;
+        treat the arrays as read-only.
+        """
+        if self._dist is None or self._pred is None:
+            return None
+        return self._dist, self._pred
+
     def memory_bytes(self) -> int:
-        """Approximate memory footprint of the cached structures."""
+        """Approximate memory footprint of the cached structures.
+
+        Memory-mapped full matrices count their full (virtual) size;
+        see :meth:`mmap_bytes` for the share that is file-backed and
+        shared between processes rather than private.
+        """
         total = 0
         if self._dist is not None:
             total += self._dist.nbytes
@@ -274,6 +314,13 @@ class ShortestPathEngine:
         for dist, pred in self._lazy.values():
             total += dist.nbytes + pred.nbytes
         return total
+
+    def mmap_bytes(self) -> int:
+        """Bytes of the footprint that are memory-mapped (file-backed)."""
+        if not self.full_mmapped:
+            return 0
+        assert self._dist is not None and self._pred is not None
+        return self._dist.nbytes + self._pred.nbytes
 
 
 class _InducedSubgraph:

@@ -87,6 +87,46 @@ class MapPartitioning:
         """Partition sizes."""
         return np.bincount(self.labels, minlength=self.num_partitions)
 
+    def memory_bytes(self) -> int:
+        """Approximate footprint of labels plus the transition model."""
+        total = self.labels.nbytes + sum(64 + 8 * len(p) for p in self._partitions)
+        if self.transition_model is not None:
+            total += self.transition_model.memory_bytes()
+        return total
+
+    # ------------------------------------------------------------------
+    # artifact-store serialisation
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> tuple[dict[str, np.ndarray], dict]:
+        """``(arrays, meta)`` for the artifact store; exact round trip."""
+        arrays: dict[str, np.ndarray] = {"labels": self.labels}
+        if self.transition_model is not None:
+            arrays["transition_matrix"] = self.transition_model.matrix
+            arrays["pickup_counts"] = self.transition_model.pickup_counts
+        meta = {"method": self.method, "iterations": int(self.iterations)}
+        return arrays, meta
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray], meta: dict) -> "MapPartitioning":
+        """Rebuild from stored arrays; bit-identical to the fresh build.
+
+        The transition model is reconstructed from its persisted matrix
+        and pickup counts (its derived pickup frequencies are the same
+        float64 division either way).
+        """
+        model = None
+        if "transition_matrix" in arrays:
+            model = TransitionModel(
+                np.asarray(arrays["transition_matrix"], dtype=np.float64).copy(),
+                np.asarray(arrays["pickup_counts"], dtype=np.float64).copy(),
+            )
+        return cls(
+            labels=np.asarray(arrays["labels"], dtype=np.int64).copy(),
+            method=str(meta.get("method", "bipartite")),
+            iterations=int(meta.get("iterations", 0)),
+            transition_model=model,
+        )
+
 
 def _relabel_contiguous(labels: np.ndarray) -> np.ndarray:
     """Map arbitrary labels to a contiguous 0..k-1 range."""

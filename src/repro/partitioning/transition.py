@@ -114,6 +114,13 @@ class TransitionModel:
         view.flags.writeable = False
         return view
 
+    @property
+    def pickup_counts(self) -> np.ndarray:
+        """Read-only view of the per-vertex historical pickup counts."""
+        view = self._pickups.view()
+        view.flags.writeable = False
+        return view
+
     def vector(self, v: int) -> np.ndarray:
         """Transition probability vector ``B_v`` (copy)."""
         return self._matrix[v].copy()

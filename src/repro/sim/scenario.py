@@ -12,17 +12,24 @@ Everything else in the trace feeds bipartite map partitioning and the
 transition probabilities.  This module reproduces that setup at a
 configurable scale on the synthetic network/trace substrate, and
 provides the scheme factory used by every benchmark.  Scenario
-construction is expensive (all-pairs shortest paths, partitioning), so
-built scenarios are memoised per spec.
+construction is expensive (trace synthesis, all-pairs shortest paths,
+partitioning), so built scenarios are memoised per spec in a bounded
+LRU cache, and every expensive preprocessing product is persisted in
+the content-addressed artifact store (:mod:`repro.artifacts`) so warm
+processes load it back — memory-mapped where possible — instead of
+recomputing.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
+from .. import artifacts
 from ..baselines import DispatchScheme, NoSharing, PGreedyDP, TShare
 from ..config import SystemConfig
 from ..core.mtshare import MTShare
@@ -32,9 +39,16 @@ from ..demand.request import RideRequest
 from ..fleet.taxi import Taxi
 from ..network.generators import grid_city
 from ..network.graph import RoadNetwork
-from ..network.shortest_path import ShortestPathEngine
+from ..network.landmarks import LandmarkGraph
+from ..network.shortest_path import FULL_APSP_LIMIT, ShortestPathEngine
 from ..partitioning.bipartite import MapPartitioning, bipartite_partition, geo_partition
 from ..partitioning.grid import grid_partition
+
+#: Environment variable bounding the in-process scenario cache.
+SCENARIO_CACHE_ENV = "REPRO_SCENARIO_CACHE"
+
+#: Default number of built scenarios kept resident.
+DEFAULT_SCENARIO_CACHE_SIZE = 8
 
 #: Scheme-name keys accepted by :meth:`Scenario.make_scheme`.
 SCHEME_NAMES = ("no-sharing", "t-share", "pgreedydp", "mt-share", "mt-share-pro")
@@ -96,7 +110,20 @@ class Scenario:
             speed_mps=_config.DEFAULT_SPEED_MPS * spec.congestion,
             seed=spec.seed,
         )
-        self.engine = ShortestPathEngine(self.network)
+        # The network spec keys the APSP / trace / partition artifacts.
+        # Speed (and hence the congestion factor) is deliberately left
+        # out: distances are in metres and trip sampling is geometric,
+        # so congestion variants of the same grid share every
+        # speed-independent artifact.
+        self._network_spec = {
+            "generator": "grid_city",
+            "rows": spec.grid_rows,
+            "cols": spec.grid_cols,
+            "spacing_m": spec.spacing_m,
+            "seed": spec.seed,
+        }
+        store = artifacts.get_store()
+        self.engine = self._build_engine(store)
         self.demand = ChengduLikeDemand(
             self.network,
             hourly_requests=spec.hourly_requests,
@@ -110,17 +137,108 @@ class Scenario:
         # remaining days feed the mining side, window excluded.  Enough
         # days are generated to cover both mining and the window day.
         num_days = max(spec.history_days + 2, day + 1)
-        full = self.demand.generate_days(num_days, weekend_days={5, 6})
+        self._trace_spec = {
+            "network": self._network_spec,
+            "demand": self.demand.spec_dict(),
+            "num_days": num_days,
+            "weekend_days": [5, 6],
+            "rate_scale": 1.0,
+        }
+        full = self._build_trace(store, num_days)
         self.window_trips: TripDataset = full.window(window_start, window_end)
         self.history: TripDataset = full.exclude_window(window_start, window_end)
         self._window_start = window_start
-        self._partitionings: dict[tuple[str, int], MapPartitioning] = {}
+        self._window_end = window_end
+        self._partitionings: dict[tuple, object] = {}
+
+    def _build_engine(self, store: artifacts.ArtifactStore | None) -> ShortestPathEngine:
+        """Shortest-path engine, loading full APSP matrices from the store.
+
+        On a warm store the dist/pred matrices are memory-mapped
+        (zero-copy: pages are shared between concurrent workers by the
+        OS cache) instead of being recomputed.
+        """
+        if store is None or self.network.num_vertices > FULL_APSP_LIMIT:
+            return ShortestPathEngine(self.network)
+        key = store.key_of("apsp", self._network_spec)
+        art = store.load("apsp", key)
+        if art is not None:
+            return ShortestPathEngine(
+                self.network, mode="full", full_arrays=(art["dist"], art["pred"])
+            )
+        engine = ShortestPathEngine(self.network)
+        mats = engine.full_matrices()
+        if mats is not None:
+            store.save("apsp", key, {"dist": mats[0], "pred": mats[1]}, meta=self._network_spec)
+        return engine
+
+    def _build_trace(self, store: artifacts.ArtifactStore | None, num_days: int) -> TripDataset:
+        """The full synthetic trace, persisted across processes.
+
+        Trace synthesis dominates scenario construction, so warm
+        processes load the dataset from the store and *replay* the
+        generator's RNG consumption (see
+        :meth:`~repro.demand.generator.ChengduLikeDemand.replay_days_rng`)
+        so any later sampling stays bit-identical to a cold build.
+        """
+        weekend_days = {5, 6}
+        if store is None:
+            return self.demand.generate_days(num_days, weekend_days=weekend_days)
+        key = store.key_of("trace", self._trace_spec)
+        art = store.load("trace", key)
+        if art is not None:
+            full = TripDataset(
+                release_times=np.asarray(art["release_times"], dtype=np.float64).copy(),
+                origins=np.asarray(art["origins"], dtype=np.int64).copy(),
+                destinations=np.asarray(art["destinations"], dtype=np.int64).copy(),
+                taxi_ids=np.asarray(art["taxi_ids"], dtype=np.int64).copy(),
+            )
+            self.demand.replay_days_rng(num_days, len(full))
+            return full
+        full = self.demand.generate_days(num_days, weekend_days=weekend_days)
+        store.save(
+            "trace",
+            key,
+            {
+                "release_times": full.release_times,
+                "origins": full.origins,
+                "destinations": full.destinations,
+                "taxi_ids": full.taxi_ids,
+            },
+            meta={"num_days": num_days, "rows": len(full)},
+        )
+        return full
 
     # ------------------------------------------------------------------
     @property
     def kind(self) -> str:
         """``"peak"`` or ``"nonpeak"``."""
         return self.spec.kind
+
+    def memory_bytes(self) -> int:
+        """Approximate resident footprint of this scenario's artifacts.
+
+        Covers the shortest-path matrices (including memory-mapped
+        ones), the trace arrays, and every memoised partitioning /
+        landmark-graph / predictor product.
+        """
+        total = self.engine.memory_bytes()
+        for ds in (self.window_trips, self.history):
+            total += (
+                ds.release_times.nbytes
+                + ds.origins.nbytes
+                + ds.destinations.nbytes
+                + ds.taxi_ids.nbytes
+            )
+        for obj in self._partitionings.values():
+            fn = getattr(obj, "memory_bytes", None)
+            if callable(fn):
+                total += int(fn())
+        return total
+
+    def mmap_bytes(self) -> int:
+        """Bytes served zero-copy from memory-mapped store artifacts."""
+        return self.engine.mmap_bytes()
 
     def default_config(self, **overrides) -> SystemConfig:
         """The paper's defaults adapted to this scenario's scale.
@@ -176,25 +294,53 @@ class Scenario:
             Taxi(taxi_id=i, capacity=capacity, loc=int(locs[i])) for i in range(num_taxis)
         ]
 
+    def _partition_spec(self, method: str, kappa: int, k_t: int) -> dict:
+        """Artifact-store key spec for a partitioning build."""
+        pspec = {
+            "trace": self._trace_spec,
+            "window": [self._window_start, self._window_end],
+            "method": method,
+            "num_partitions": kappa,
+            "seed": self.spec.seed,
+        }
+        if method == "bipartite":
+            pspec["num_transition_clusters"] = k_t
+        return pspec
+
     def partitioning(
         self,
         method: str = "bipartite",
         num_partitions: int | None = None,
         num_transition_clusters: int = 20,
     ) -> MapPartitioning:
-        """Build (and memoise) a map partitioning over this network."""
+        """Build (and memoise) a map partitioning over this network.
+
+        Labels and the fitted transition model are persisted in the
+        artifact store; warm processes skip the bipartite fixed-point
+        iteration (and its k-means sweeps) entirely.
+        """
         kappa = num_partitions if num_partitions is not None else self.spec.num_partitions
         key = (method, kappa)
         cached = self._partitionings.get(key)
         if cached is not None:
             return cached
+        store = artifacts.get_store()
+        k_t = min(num_transition_clusters, max(2, kappa - 1))
+        akey = None
+        if store is not None:
+            akey = store.key_of("partition", self._partition_spec(method, kappa, k_t))
+            art = store.load("partition", akey)
+            if art is not None:
+                part = MapPartitioning.from_arrays(art.arrays, art.meta)
+                self._partitionings[key] = part
+                return part
         trips = self.history.od_pairs()
         if method == "bipartite":
             part = bipartite_partition(
                 self.network,
                 trips,
                 num_partitions=kappa,
-                num_transition_clusters=min(num_transition_clusters, max(2, kappa - 1)),
+                num_transition_clusters=k_t,
                 seed=self.spec.seed,
             )
         elif method == "grid":
@@ -205,17 +351,62 @@ class Scenario:
             )
         else:
             raise ValueError(f"unknown partitioning method {method!r}")
+        if store is not None:
+            arrays, meta = part.to_arrays()
+            store.save("partition", akey, arrays, meta=meta)
         self._partitionings[key] = part
         return part
+
+    def landmark_graph(
+        self,
+        method: str = "bipartite",
+        num_partitions: int | None = None,
+    ) -> LandmarkGraph:
+        """Landmark graph over a memoised partitioning, store-backed.
+
+        Keyed by the *content* of the partition labels (plus travel
+        speed — landmark costs are in seconds), so any route to the
+        same partitioning shares one stored landmark table set.
+        """
+        kappa = num_partitions if num_partitions is not None else self.spec.num_partitions
+        mkey = ("landmarks", method, kappa)
+        cached = self._partitionings.get(mkey)
+        if cached is not None:
+            return cached
+        part = self.partitioning(method, kappa)
+        store = artifacts.get_store()
+        akey = None
+        if store is not None:
+            lspec = {
+                "network": self._network_spec,
+                "labels_sha": hashlib.sha256(part.labels.tobytes()).hexdigest(),
+                "speed_mps": self.network.speed_mps,
+                "engine_mode": self.engine.mode,
+            }
+            akey = store.key_of("landmarks", lspec)
+            art = store.load("landmarks", akey)
+            if art is not None:
+                graph = LandmarkGraph.from_tables(self.network, part.partitions, art.arrays)
+                self._partitionings[mkey] = graph
+                return graph
+        graph = LandmarkGraph(self.network, part.partitions, self.engine)
+        if store is not None:
+            store.save(
+                "landmarks",
+                akey,
+                graph.to_tables(),
+                meta={"speed_mps": self.network.speed_mps, "engine_mode": self.engine.mode},
+            )
+        self._partitionings[mkey] = graph
+        return graph
 
     def _probabilistic_router(self, config: SystemConfig):
         """A ProbabilisticRouter over this scenario's bipartite partitions."""
         from ..core.partition_filter import PartitionFilter
         from ..core.routing import ProbabilisticRouter
-        from ..network.landmarks import LandmarkGraph
 
         part = self.partitioning("bipartite", config.num_partitions)
-        landmarks = LandmarkGraph(self.network, part.partitions, self.engine)
+        landmarks = self.landmark_graph("bipartite", config.num_partitions)
         pfilter = PartitionFilter(landmarks, lam=config.lam, epsilon=config.epsilon)
         router = ProbabilisticRouter(
             self.network,
@@ -236,12 +427,30 @@ class Scenario:
 
         key = ("predictor", partitioning.num_partitions)
         cached = self._partitionings.get(key)
-        if cached is None:
-            cached = DemandPredictor.fit(
-                self.history, partitioning.labels, partitioning.num_partitions
-            )
-            self._partitionings[key] = cached
-        return cached
+        if cached is not None:
+            return cached
+        store = artifacts.get_store()
+        akey = None
+        if store is not None:
+            pspec = {
+                "trace": self._trace_spec,
+                "window": [self._window_start, self._window_end],
+                "labels_sha": hashlib.sha256(partitioning.labels.tobytes()).hexdigest(),
+                "num_partitions": partitioning.num_partitions,
+            }
+            akey = store.key_of("predictor", pspec)
+            art = store.load("predictor", akey)
+            if art is not None:
+                predictor = DemandPredictor(np.asarray(art["rates"], dtype=np.float64).copy())
+                self._partitionings[key] = predictor
+                return predictor
+        predictor = DemandPredictor.fit(
+            self.history, partitioning.labels, partitioning.num_partitions
+        )
+        if store is not None:
+            store.save("predictor", akey, {"rates": predictor.rates}, meta={})
+        self._partitionings[key] = predictor
+        return predictor
 
     def make_scheme(
         self,
@@ -279,6 +488,7 @@ class Scenario:
                     if probabilistic_variant and config.use_demand_prediction
                     else None
                 ),
+                landmarks=self.landmark_graph(partition_method, config.num_partitions),
             )
         else:
             raise ValueError(f"unknown scheme {name!r}; expected one of {SCHEME_NAMES}")
@@ -288,10 +498,84 @@ class Scenario:
         return scheme
 
 
-@lru_cache(maxsize=8)
+# ----------------------------------------------------------------------
+# Bounded scenario cache
+# ----------------------------------------------------------------------
+_SCENARIO_CACHE: OrderedDict[ScenarioSpec, Scenario] = OrderedDict()
+_SCENARIO_CACHE_SIZE: int | None = None
+_SCENARIO_HITS = 0
+_SCENARIO_MISSES = 0
+_SCENARIO_EVICTIONS = 0
+
+
+def _scenario_cache_limit() -> int:
+    """Configured cache bound: setter wins, then env, then default."""
+    if _SCENARIO_CACHE_SIZE is not None:
+        return _SCENARIO_CACHE_SIZE
+    raw = os.environ.get(SCENARIO_CACHE_ENV, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_SCENARIO_CACHE_SIZE
+
+
+def set_scenario_cache_size(size: int | None) -> None:
+    """Bound the scenario cache (``None`` restores env/default).
+
+    Shrinking evicts least-recently-used scenarios immediately, which
+    releases their matrices / mmaps once callers drop their references.
+    """
+    global _SCENARIO_CACHE_SIZE, _SCENARIO_EVICTIONS
+    if size is not None and size < 1:
+        raise ValueError("cache size must be >= 1")
+    _SCENARIO_CACHE_SIZE = size
+    limit = _scenario_cache_limit()
+    while len(_SCENARIO_CACHE) > limit:
+        _SCENARIO_CACHE.popitem(last=False)
+        _SCENARIO_EVICTIONS += 1
+
+
 def get_scenario(spec: ScenarioSpec) -> Scenario:
-    """Memoised scenario builder (network + APSP + trace are expensive)."""
-    return Scenario(spec)
+    """Memoised scenario builder (trace + APSP + partitioning are expensive).
+
+    LRU-bounded (:data:`SCENARIO_CACHE_ENV`, default
+    :data:`DEFAULT_SCENARIO_CACHE_SIZE` entries) so long sweeps cannot
+    accumulate unbounded resident matrices.
+    """
+    global _SCENARIO_HITS, _SCENARIO_MISSES, _SCENARIO_EVICTIONS
+    cached = _SCENARIO_CACHE.get(spec)
+    if cached is not None:
+        _SCENARIO_CACHE.move_to_end(spec)
+        _SCENARIO_HITS += 1
+        return cached
+    _SCENARIO_MISSES += 1
+    scenario = Scenario(spec)
+    _SCENARIO_CACHE[spec] = scenario
+    limit = _scenario_cache_limit()
+    while len(_SCENARIO_CACHE) > limit:
+        _SCENARIO_CACHE.popitem(last=False)
+        _SCENARIO_EVICTIONS += 1
+    return scenario
+
+
+def clear_scenarios() -> None:
+    """Drop every cached scenario (their artifacts become collectable)."""
+    _SCENARIO_CACHE.clear()
+
+
+def scenario_cache_stats() -> dict:
+    """Cache occupancy and resident/mmap byte gauges for observability."""
+    return {
+        "entries": len(_SCENARIO_CACHE),
+        "max_entries": _scenario_cache_limit(),
+        "hits": _SCENARIO_HITS,
+        "misses": _SCENARIO_MISSES,
+        "evictions": _SCENARIO_EVICTIONS,
+        "memory_bytes": sum(s.memory_bytes() for s in _SCENARIO_CACHE.values()),
+        "mmap_bytes": sum(s.mmap_bytes() for s in _SCENARIO_CACHE.values()),
+    }
 
 
 def peak_spec(**overrides) -> ScenarioSpec:

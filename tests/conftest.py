@@ -2,15 +2,34 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.artifacts import ARTIFACT_DIR_ENV
 from repro.demand.request import RideRequest
 from repro.network.generators import grid_city, small_test_network
 from repro.network.landmarks import LandmarkGraph
 from repro.network.shortest_path import ShortestPathEngine
 from repro.partitioning.bipartite import bipartite_partition
 from repro.sim.scenario import ScenarioSpec, get_scenario
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_artifact_store(tmp_path_factory):
+    """Keep test artifacts out of the user's real store.
+
+    Unless the caller pinned a store location explicitly, the whole
+    session runs against a throwaway directory (still exercising the
+    persistence paths, but hermetically).
+    """
+    if os.environ.get(ARTIFACT_DIR_ENV):
+        yield
+        return
+    os.environ[ARTIFACT_DIR_ENV] = str(tmp_path_factory.mktemp("artifact-store"))
+    yield
+    os.environ.pop(ARTIFACT_DIR_ENV, None)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,320 @@
+"""Artifact store: keys, round trips, invalidation, cross-process reuse."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (
+    ARTIFACT_DIR_ENV,
+    ArtifactStore,
+    canonical_json,
+    get_store,
+)
+from repro.sim.scenario import Scenario, ScenarioSpec
+
+MICRO_SPEC = ScenarioSpec(
+    kind="peak",
+    grid_rows=8,
+    grid_cols=8,
+    spacing_m=180.0,
+    hourly_requests=120,
+    history_days=2,
+    num_partitions=9,
+    offline_count=10,
+    seed=3,
+)
+
+
+def _run_py(code: str, env_overrides: dict | None = None) -> str:
+    """Run a snippet in a fresh interpreter, returning its stdout."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    if env_overrides:
+        env.update(env_overrides)
+    out = subprocess.run(
+        [sys.executable, "-c", code], env=env, capture_output=True, text=True, check=True
+    )
+    return out.stdout.strip()
+
+
+# ----------------------------------------------------------------------
+# keys and canonical encoding
+# ----------------------------------------------------------------------
+def test_canonical_json_is_order_independent():
+    a = canonical_json({"b": 2, "a": [1, 2], "c": {"y": 1.5, "x": np.int64(3)}})
+    b = canonical_json({"c": {"x": 3, "y": 1.5}, "a": [1, 2], "b": 2})
+    assert a == b
+
+
+def test_key_is_stable_and_spec_sensitive(tmp_path):
+    store = ArtifactStore(tmp_path)
+    spec = {"generator": "grid_city", "rows": 8, "cols": 8, "seed": 3}
+    assert store.key_of("apsp", spec) == store.key_of("apsp", dict(reversed(spec.items())))
+    assert store.key_of("apsp", spec) != store.key_of("trace", spec)
+    assert store.key_of("apsp", spec) != store.key_of("apsp", {**spec, "seed": 4})
+
+
+def test_scenario_keys_change_with_every_generating_parameter(tmp_path, monkeypatch):
+    """κ, demand rate λ, seed, and generator size all change the store key."""
+    monkeypatch.setenv(ARTIFACT_DIR_ENV, str(tmp_path))
+    base = Scenario(MICRO_SPEC)
+    store = get_store()
+    base_key = store.key_of("partition", base._partition_spec("bipartite", 9, 8))
+
+    # κ (partition count) and k_t (transition clusters).
+    assert store.key_of("partition", base._partition_spec("bipartite", 12, 8)) != base_key
+    assert store.key_of("partition", base._partition_spec("bipartite", 9, 4)) != base_key
+    # Method.
+    assert store.key_of("partition", base._partition_spec("grid", 9, 8)) != base_key
+
+    # Demand rate (λ), seed, generator size change the trace spec and
+    # hence every downstream key.
+    from dataclasses import replace
+
+    for field, value in (
+        ("hourly_requests", 150),
+        ("seed", 4),
+        ("grid_rows", 9),
+    ):
+        other = Scenario(replace(MICRO_SPEC, **{field: value}))
+        other_key = store.key_of("partition", other._partition_spec("bipartite", 9, 8))
+        assert other_key != base_key, field
+
+
+# ----------------------------------------------------------------------
+# save/load round trips
+# ----------------------------------------------------------------------
+def test_save_load_round_trip_and_mmap(tmp_path):
+    store = ArtifactStore(tmp_path)
+    key = store.key_of("apsp", {"n": 5})
+    dist = np.arange(25, dtype=np.float64).reshape(5, 5)
+    pred = np.arange(25, dtype=np.int32).reshape(5, 5)
+    store.save("apsp", key, {"dist": dist, "pred": pred}, meta={"n": 5})
+    assert store.contains("apsp", key)
+
+    art = store.load("apsp", key)
+    assert art is not None
+    assert isinstance(art["dist"], np.memmap)
+    assert np.array_equal(np.asarray(art["dist"]), dist)
+    assert np.array_equal(np.asarray(art["pred"]), pred)
+    assert art.meta["n"] == 5
+
+    eager = store.load("apsp", key, mmap=False)
+    assert not isinstance(eager["dist"], np.memmap)
+    assert np.array_equal(eager["dist"], dist)
+
+
+def test_corrupt_artifact_counts_as_miss(tmp_path):
+    store = ArtifactStore(tmp_path)
+    key = store.key_of("trace", {"x": 1})
+    store.save("trace", key, {"a": np.ones(3)}, meta={})
+    # Remove the array file but keep meta.json: must degrade to a miss.
+    victim = next(store._dir_of("trace", key).glob("*.npy"))
+    victim.unlink()
+    assert store.load("trace", key) is None
+    assert store.stats()["trace"]["misses"] >= 1
+
+
+def test_disabled_store_returns_none(monkeypatch):
+    monkeypatch.setenv(ARTIFACT_DIR_ENV, "off")
+    assert get_store() is None
+
+
+def test_info_and_clear(tmp_path):
+    store = ArtifactStore(tmp_path)
+    key = store.key_of("trace", {"x": 2})
+    store.save("trace", key, {"a": np.ones(4)}, meta={})
+    info = store.info()
+    assert info["trace"]["artifacts"] == 1
+    assert info["trace"]["bytes"] > 0
+    assert store.clear() == 1
+    assert store.info() == {}
+
+
+# ----------------------------------------------------------------------
+# scenario integration: warm loads are bit-identical and build-free
+# ----------------------------------------------------------------------
+def test_warm_scenario_bit_identical(tmp_path, monkeypatch):
+    monkeypatch.setenv(ARTIFACT_DIR_ENV, str(tmp_path))
+    cold = Scenario(MICRO_SPEC)
+    cold_part = cold.partitioning()
+    cold_lg = cold.landmark_graph()
+    cold_pred = cold.demand_predictor(cold_part)
+
+    warm = Scenario(MICRO_SPEC)
+    warm_part = warm.partitioning()
+    warm_lg = warm.landmark_graph()
+    warm_pred = warm.demand_predictor(warm_part)
+
+    assert not cold.engine.full_mmapped and warm.engine.full_mmapped
+    assert warm.mmap_bytes() > 0
+    assert np.array_equal(cold.history.release_times, warm.history.release_times)
+    assert np.array_equal(cold.history.origins, warm.history.origins)
+    assert np.array_equal(cold_part.labels, warm_part.labels)
+    assert np.array_equal(
+        cold_part.transition_model.matrix, warm_part.transition_model.matrix
+    )
+    assert cold_lg.landmarks == warm_lg.landmarks
+    assert np.array_equal(cold_lg.landmark_cost_matrix(), warm_lg.landmark_cost_matrix())
+    # Not just equal *sets*: identical iteration order.  Probabilistic
+    # routing enumerates corridors by iterating these sets under a path
+    # budget, so a layout difference between a fresh build and a
+    # table-restored graph would silently change dispatch decisions.
+    for z in range(cold_lg.num_partitions):
+        assert list(cold_lg.neighbors(z)) == list(warm_lg.neighbors(z))
+    assert np.array_equal(cold_pred.rates, warm_pred.rates)
+
+    # The generator RNG was replayed: later sampling stays identical.
+    w_cold = cold.demand.generate_window(1, 8, 1, weekend=False)
+    w_warm = warm.demand.generate_window(1, 8, 1, weekend=False)
+    assert np.array_equal(w_cold.release_times, w_warm.release_times)
+    assert np.array_equal(w_cold.origins, w_warm.origins)
+    assert np.array_equal(w_cold.taxi_ids, w_warm.taxi_ids)
+
+
+_FRESH_PROCESS_SNIPPET = """
+import json
+import numpy as np
+from repro import artifacts
+from repro.sim.scenario import Scenario, ScenarioSpec
+spec = ScenarioSpec(kind="peak", grid_rows=8, grid_cols=8, spacing_m=180.0,
+                    hourly_requests=120, history_days=2, num_partitions=9,
+                    offline_count=10, seed=3)
+s = Scenario(spec)
+part = s.partitioning()
+lg = s.landmark_graph()
+stats = artifacts.stats()
+print(json.dumps({
+    "builds": sum(v["builds"] for v in stats.values()),
+    "mmap_loads": sum(v["mmap_loads"] for v in stats.values()),
+    "mmapped": bool(s.engine.full_mmapped),
+    "labels_sha": __import__("hashlib").sha256(part.labels.tobytes()).hexdigest(),
+    "tm_sha": __import__("hashlib").sha256(
+        np.ascontiguousarray(part.transition_model.matrix).tobytes()).hexdigest(),
+    "cost_sha": __import__("hashlib").sha256(
+        np.ascontiguousarray(lg.landmark_cost_matrix()).tobytes()).hexdigest(),
+}))
+"""
+
+
+def test_second_process_skips_all_recomputation(tmp_path):
+    """Acceptance: a fresh process on a warm store does zero builds."""
+    env = {ARTIFACT_DIR_ENV: str(tmp_path)}
+    first = json.loads(_run_py(_FRESH_PROCESS_SNIPPET, env))
+    assert first["builds"] > 0  # cold process did the work once
+
+    second = json.loads(_run_py(_FRESH_PROCESS_SNIPPET, env))
+    assert second["builds"] == 0
+    assert second["mmap_loads"] > 0
+    assert second["mmapped"] is True
+    # And the loaded content hashes to exactly the cold build's bytes.
+    for field in ("labels_sha", "tm_sha", "cost_sha"):
+        assert first[field] == second[field]
+
+
+def test_preprocessing_deterministic_across_fresh_processes(tmp_path):
+    """Bipartite/k-means/transition builds are seed-deterministic: two
+    *cold* processes (separate stores) produce byte-identical artifacts."""
+    a = json.loads(_run_py(_FRESH_PROCESS_SNIPPET, {ARTIFACT_DIR_ENV: str(tmp_path / "a")}))
+    b = json.loads(_run_py(_FRESH_PROCESS_SNIPPET, {ARTIFACT_DIR_ENV: str(tmp_path / "b")}))
+    assert a["builds"] > 0 and b["builds"] > 0
+    for field in ("labels_sha", "tm_sha", "cost_sha"):
+        assert a[field] == b[field]
+
+
+def test_congestion_variants_share_speed_independent_artifacts(tmp_path, monkeypatch):
+    """Distances are in metres, so congestion only re-keys landmark costs."""
+    from dataclasses import replace
+
+    monkeypatch.setenv(ARTIFACT_DIR_ENV, str(tmp_path))
+    base = Scenario(MICRO_SPEC)
+    base.partitioning()
+    base.landmark_graph()
+    store = get_store()
+    store.reset_stats()
+
+    slow = Scenario(replace(MICRO_SPEC, congestion=0.5))
+    slow.partitioning()
+    slow.landmark_graph()
+    stats = store.stats()
+    # APSP, trace and partition artifacts are reused...
+    assert stats["apsp"]["loads"] == 1
+    assert stats["trace"]["loads"] == 1
+    assert stats["partition"]["loads"] == 1
+    # ...but landmark costs are in seconds, so they rebuild.
+    assert stats["landmarks"]["builds"] == 1
+
+
+def test_landmark_key_uses_label_content(tmp_path, monkeypatch):
+    monkeypatch.setenv(ARTIFACT_DIR_ENV, str(tmp_path))
+    s = Scenario(MICRO_SPEC)
+    part = s.partitioning()
+    lg_key_spec = {
+        "network": s._network_spec,
+        "labels_sha": hashlib.sha256(part.labels.tobytes()).hexdigest(),
+        "speed_mps": s.network.speed_mps,
+        "engine_mode": s.engine.mode,
+    }
+    store = get_store()
+    key = store.key_of("landmarks", lg_key_spec)
+    s.landmark_graph()
+    assert store.contains("landmarks", key)
+
+
+# ----------------------------------------------------------------------
+# bounded scenario cache (satellite: memory bounding + eviction)
+# ----------------------------------------------------------------------
+def test_scenario_cache_bounded_and_eviction_frees_memory(monkeypatch):
+    import gc
+    import weakref
+    from dataclasses import replace
+
+    from repro.sim import scenario as sc
+
+    sc.clear_scenarios()
+    sc.set_scenario_cache_size(1)
+    try:
+        s1 = sc.get_scenario(replace(MICRO_SPEC, seed=101))
+        ref = weakref.ref(s1)
+        engine_ref = weakref.ref(s1.engine)
+        assert sc.scenario_cache_stats()["entries"] == 1
+        assert sc.scenario_cache_stats()["memory_bytes"] >= s1.memory_bytes()
+
+        sc.get_scenario(replace(MICRO_SPEC, seed=102))  # evicts s1
+        stats = sc.scenario_cache_stats()
+        assert stats["entries"] == 1
+        assert stats["max_entries"] == 1
+        assert stats["evictions"] >= 1
+
+        del s1
+        gc.collect()
+        assert ref() is None, "evicted scenario must be collectable"
+        assert engine_ref() is None, "eviction must free the engine's matrices/mmaps"
+    finally:
+        sc.set_scenario_cache_size(None)
+        sc.clear_scenarios()
+
+
+def test_scenario_cache_size_env(monkeypatch):
+    from repro.sim import scenario as sc
+
+    monkeypatch.setenv(sc.SCENARIO_CACHE_ENV, "3")
+    sc.set_scenario_cache_size(None)
+    assert sc.scenario_cache_stats()["max_entries"] == 3
+    monkeypatch.delenv(sc.SCENARIO_CACHE_ENV)
+    assert sc.scenario_cache_stats()["max_entries"] == sc.DEFAULT_SCENARIO_CACHE_SIZE
+
+
+def test_scenario_cache_rejects_bad_size():
+    from repro.sim import scenario as sc
+
+    with pytest.raises(ValueError):
+        sc.set_scenario_cache_size(0)
