@@ -1,0 +1,173 @@
+"""Runtime invariant contracts for the simulation core.
+
+The paper's correctness conditions — Algorithm 1's schedule feasibility
+(each pick-up precedes its drop-off, capacity never exceeded), the
+event clock's monotonicity, and the request-accounting identity behind
+every service-rate figure — are cheap to state and expensive to debug
+when silently violated.  This module states them as *contracts*: check
+functions guarded by one module-level flag.
+
+Enablement
+----------
+Contracts are **off** by default and the guard is a single attribute
+load + branch, so production runs pay effectively nothing (the obs
+overhead test bounds the whole layer at <= 5% of wall time).  They are
+on when:
+
+* the environment variable ``REPRO_CONTRACTS`` is set to anything but
+  ``0``/``false``/``off``/empty when :mod:`repro.analysis.contracts` is
+  first imported, or
+* :func:`enable` is called (the test suite does this in a session
+  fixture, so every tier-1 run exercises the invariants).
+
+A violated contract raises :class:`ContractViolation` (an
+``AssertionError`` subclass: genuine programming errors, not user
+input errors).
+
+Usage::
+
+    from repro.analysis import contracts
+
+    contracts.check_schedule(stops, taxi.occupancy, taxi.capacity)
+    contracts.check_monotone_clock(previous_now, now)
+    contracts.check_request_accounting(metrics)
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..fleet.schedule import Stop
+    from ..sim.metrics import SimulationMetrics
+
+ENV_VAR = "REPRO_CONTRACTS"
+
+_F = TypeVar("_F", bound=Callable[..., None])
+
+
+class ContractViolation(AssertionError):
+    """A runtime invariant of the simulation core does not hold."""
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_VAR, "").strip().lower() not in ("", "0", "false", "off")
+
+
+_ENABLED: bool = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether contract checks currently execute."""
+    return _ENABLED
+
+
+def enable(on: bool = True) -> None:
+    """Force contracts on (or off), overriding the environment."""
+    global _ENABLED
+    _ENABLED = on
+
+
+def invariant(description: str) -> Callable[[_F], _F]:
+    """Mark a function as a contract check, compiled out when disabled.
+
+    The wrapper returns immediately unless contracts are enabled, so a
+    disabled check costs one call + one branch.  ``description`` is
+    attached as ``contract_description`` for introspection/reporting.
+    """
+
+    def decorate(fn: _F) -> _F:
+        def wrapper(*args: object, **kwargs: object) -> None:
+            if not _ENABLED:
+                return
+            fn(*args, **kwargs)
+
+        wrapper.contract_description = description  # type: ignore[attr-defined]
+        wrapper.__name__ = fn.__name__
+        wrapper.__doc__ = fn.__doc__
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+# ----------------------------------------------------------------------
+# the contracts
+# ----------------------------------------------------------------------
+@invariant("each pick-up precedes its drop-off and capacity is never exceeded")
+def check_schedule(stops: "Sequence[Stop]", occupancy: int, capacity: int) -> None:
+    """Algorithm 1 feasibility of an installed schedule.
+
+    ``occupancy`` is the number of passengers already on board when the
+    schedule starts (their drop-offs appear without pick-ups).
+    """
+    from ..fleet.schedule import StopKind
+
+    picked: set[int] = set()
+    onboard = occupancy
+    for idx, stop in enumerate(stops):
+        rid = stop.request.request_id
+        if stop.kind is StopKind.PICKUP:
+            if rid in picked:
+                raise ContractViolation(f"request {rid} picked up twice in one schedule")
+            picked.add(rid)
+        elif rid not in picked and any(
+            s.kind is StopKind.PICKUP and s.request.request_id == rid
+            for s in stops[idx + 1:]
+        ):
+            raise ContractViolation(
+                f"request {rid} is dropped off before its pick-up (stop {idx})"
+            )
+        onboard += stop.passenger_delta
+        if onboard > capacity:
+            raise ContractViolation(
+                f"capacity exceeded after stop {idx}: {onboard} > {capacity}"
+            )
+        if onboard < 0:
+            raise ContractViolation(
+                f"negative occupancy after stop {idx}: taxi drops off "
+                "passengers it never carried"
+            )
+
+
+@invariant("the simulation clock never moves backwards")
+def check_monotone_clock(previous: float, now: float) -> None:
+    """Event times must be non-decreasing across the whole run."""
+    if now < previous:
+        raise ContractViolation(
+            f"simulation clock moved backwards: {previous} -> {now}"
+        )
+
+
+@invariant("every request ends in exactly one accounting bucket")
+def check_request_accounting(metrics: "SimulationMetrics") -> None:
+    """The request balance of :meth:`SimulationMetrics.check_balance`.
+
+    ``check_balance`` stays an unconditional end-of-run assertion; this
+    contract makes the same identity checkable *mid-run* as an upper
+    bound (no bucket may overshoot its population while requests are
+    still in flight).
+    """
+    online = metrics.served_online + metrics.unserved_online
+    offline = (
+        metrics.served_offline + metrics.expired_offline + metrics.unserved_offline
+    )
+    if online > metrics.num_online or offline > metrics.num_offline:
+        raise ContractViolation(
+            "request accounting overshoots its population: "
+            f"online {online}/{metrics.num_online}, "
+            f"offline {offline}/{metrics.num_offline}"
+        )
+
+
+__all__ = [
+    "ENV_VAR",
+    "ContractViolation",
+    "check_monotone_clock",
+    "check_request_accounting",
+    "check_schedule",
+    "enable",
+    "enabled",
+    "invariant",
+]

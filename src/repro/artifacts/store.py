@@ -218,10 +218,10 @@ class ArtifactStore:
                 continue
             count = 0
             nbytes = 0
-            for meta in kind_dir.glob("*/*/meta.json"):
+            for meta in sorted(kind_dir.glob("*/*/meta.json")):
                 count += 1
                 nbytes += sum(
-                    f.stat().st_size for f in meta.parent.iterdir() if f.is_file()
+                    f.stat().st_size for f in sorted(meta.parent.iterdir()) if f.is_file()
                 )
             out[kind_dir.name] = {"artifacts": count, "bytes": nbytes}
         return out

@@ -12,6 +12,7 @@ import abc
 
 import numpy as np
 
+from ..analysis import contracts
 from ..config import SystemConfig
 from ..core.matching import MatchResult
 from ..demand.request import RideRequest
@@ -20,7 +21,7 @@ from ..fleet.taxi import Taxi
 from ..network.graph import RoadNetwork
 from ..network.shortest_path import ShortestPathEngine
 from ..obs import NULL, Instrumentation
-from ..core.routing import BasicRouter, RouteInfeasible
+from ..core.routing import BasicRouter, ProbabilisticRouter, RouteInfeasible
 
 
 class DispatchScheme(abc.ABC):
@@ -51,7 +52,7 @@ class DispatchScheme(abc.ABC):
         self._config = config
         self._fleet: dict[int, Taxi] = {}
         self._fallback_router = BasicRouter(network, engine, None)
-        self._prob_router = None
+        self._prob_router: ProbabilisticRouter | None = None
         self._obs: Instrumentation = NULL
 
     # ------------------------------------------------------------------
@@ -109,6 +110,7 @@ class DispatchScheme(abc.ABC):
     def _apply_plan(self, result: MatchResult, request: RideRequest, now: float) -> Taxi:
         """Raw plan application: assign, install route, refresh indexes."""
         taxi = self._fleet[result.taxi_id]
+        contracts.check_schedule(result.stops, taxi.occupancy, taxi.capacity)
         taxi.assign(request)
         taxi.set_plan(list(result.stops), result.route)
         self._index_taxi(taxi, now)
@@ -190,7 +192,7 @@ class DispatchScheme(abc.ABC):
     # ------------------------------------------------------------------
     # optional probabilistic routing (Fig. 16's scheme x routing grid)
     # ------------------------------------------------------------------
-    def enable_probabilistic(self, router) -> None:
+    def enable_probabilistic(self, router: ProbabilisticRouter) -> None:
         """Attach a probabilistic router to this scheme.
 
         The paper's Fig. 16 combines probabilistic routing with T-Share

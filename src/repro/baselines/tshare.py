@@ -14,6 +14,7 @@ matches) to exactly this intersection.
 from __future__ import annotations
 
 from ..core.matching import MatchResult
+from ..core.routing import RouteInfeasible
 from ..demand.request import RideRequest
 from ..fleet.schedule import arrival_times, capacity_ok, deadlines_met, enumerate_insertions
 from ..fleet.taxi import Taxi
@@ -119,7 +120,7 @@ class TShare(DispatchScheme):
             detour, stops, node, ready = found
             try:
                 route = self._fallback_router.route_for_schedule(node, ready, stops)
-            except Exception:  # noqa: BLE001 - infeasible route, try next taxi
+            except RouteInfeasible:  # infeasible route, try next taxi
                 continue
             return MatchResult(
                 taxi_id=taxi.taxi_id,

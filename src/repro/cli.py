@@ -13,6 +13,9 @@ Exposed as ``python -m repro``.  Four subcommands:
     store (see :mod:`repro.artifacts`).
 ``list``
     List the available schemes, experiments and ablations.
+``lint``
+    Run the project's determinism/invariant static analysis
+    (see :mod:`repro.analysis` and ``docs/STATIC_ANALYSIS.md``).
 """
 
 from __future__ import annotations
@@ -70,6 +73,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="experiments to warm artifacts for (default: all figures)")
 
     sub.add_parser("list", help="list schemes, experiments, ablations")
+
+    # "lint" is registered for --help discoverability only; main()
+    # forwards its argv to the repro.analysis engine before parsing.
+    sub.add_parser("lint", help="run the determinism/invariant lint",
+                   add_help=False)
     return parser
 
 
@@ -170,6 +178,13 @@ def _cmd_list() -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "lint":
+        # Forward everything after "lint" untouched so the analysis
+        # engine owns its own flags (--baseline, --format, ...).
+        from .analysis import main as lint_main
+
+        return lint_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.command == "simulate":
         return _cmd_simulate(args)

@@ -27,6 +27,7 @@ planned candidates once a winner exists).
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 from functools import partial
 
@@ -268,7 +269,7 @@ class Matcher:
         self._obs.count("kernel.batched_reach_checks", len(exact_rows))
         costs = self._engine.cost_matrix(exact_nodes, [origin])[:, 0]
         arrivals = np.asarray(exact_ready) + costs
-        late = set()
+        late: set[int] = set()
         for row, arrival in zip(exact_rows, arrivals):
             if arrival > pickup_deadline:
                 late.add(row)
@@ -282,7 +283,7 @@ class Matcher:
         candidates: list[Taxi],
         request: RideRequest,
         now: float,
-    ):
+    ) -> list[tuple[float, Taxi, Callable[[], list[Stop]]]]:
         """Best feasible insertion per candidate, for the whole dispatch.
 
         Returns ``(detour, taxi, build_stops)`` triples sorted by
@@ -315,7 +316,7 @@ class Matcher:
         self,
         items: list[tuple[Taxi, int, float, list[Stop]]],
         request: RideRequest,
-    ):
+    ) -> list[tuple[float, Taxi, Callable[[], list[Stop]]]]:
         """Small-dispatch scorer: one tight distance-row walk over the
         whole candidate set (rows and the request's stop pair are shared
         across candidates inside :func:`score_insertions_tight`)."""
@@ -323,7 +324,7 @@ class Matcher:
             (node, ready, pending, taxi.occupancy, taxi.capacity)
             for taxi, node, ready, pending in items
         ]
-        scored = []
+        scored: list[tuple[float, Taxi, Callable[[], list[Stop]]]] = []
         for idx, last, i, j in score_insertions_tight(self._engine, starts, request):
             taxi, _node, ready, pending = items[idx]
             detour = (last - ready) - taxi.remaining_route_cost(ready)
@@ -335,13 +336,13 @@ class Matcher:
         self,
         items: list[tuple[Taxi, int, float, list[Stop]]],
         request: RideRequest,
-    ):
+    ) -> list[tuple[float, Taxi, Callable[[], list[Stop]]]]:
         """Large-dispatch scorer: candidates grouped by pending-stop
         count, one :func:`evaluate_insertions_grouped` kernel each."""
         groups: dict[int, list[tuple[Taxi, int, float, list[Stop]]]] = {}
         for item in items:
             groups.setdefault(len(item[3]), []).append(item)
-        scored = []
+        scored: list[tuple[float, Taxi, Callable[[], list[Stop]]]] = []
         for group in groups.values():
             batch = evaluate_insertions_grouped(
                 self._engine,

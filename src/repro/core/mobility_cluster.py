@@ -204,7 +204,7 @@ class MobilityClusterIndex:
         table = self._table
         if table is None:
             ids = list(self._clusters)
-            units = []
+            units: list[tuple[float, float, float]] = []
             for cid in ids:
                 dx, dy = self._clusters[cid].general_vector().direction
                 units.append(direction_unit(dx, dy))

@@ -11,6 +11,8 @@ encounter offline street-hailing requests.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..baselines.base import DispatchScheme
 from ..config import SystemConfig
 from ..demand.request import RideRequest
@@ -24,6 +26,10 @@ from .matching import Matcher, MatchResult, request_vector, taxi_vector
 from .mobility_cluster import MobilityClusterIndex
 from .partition_filter import PartitionFilter
 from .routing import BasicRouter, ProbabilisticRouter
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..demand.prediction import DemandPredictor
+    from ..obs import Instrumentation
 
 
 class MTShare(DispatchScheme):
@@ -61,7 +67,7 @@ class MTShare(DispatchScheme):
         config: SystemConfig,
         partitioning: MapPartitioning,
         probabilistic: bool = False,
-        demand_predictor=None,
+        demand_predictor: DemandPredictor | None = None,
         landmarks: LandmarkGraph | None = None,
     ) -> None:
         super().__init__(network, engine, config)
@@ -132,7 +138,7 @@ class MTShare(DispatchScheme):
         return self._prob_router is not None
 
     # ------------------------------------------------------------------
-    def instrument(self, obs) -> None:
+    def instrument(self, obs: Instrumentation) -> None:
         """Attach observability to the matcher and both routers."""
         super().instrument(obs)
         self._basic_router.instrument(obs)
@@ -140,7 +146,7 @@ class MTShare(DispatchScheme):
             self._prob_router.instrument(obs)
         self._matcher.instrument(obs)
 
-    def collect_observability(self, obs) -> None:
+    def collect_observability(self, obs: Instrumentation) -> None:
         """End-of-run index gauges (Table IV's structures, live sizes)."""
         super().collect_observability(obs)
         fallbacks = self._fallback_router.fallbacks + self._basic_router.fallbacks

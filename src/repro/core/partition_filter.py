@@ -17,6 +17,8 @@ partition) pair, so it is memoised.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from ..network.geo import cosine_similarity
 from ..network.landmarks import LandmarkGraph
 
@@ -81,7 +83,7 @@ class PartitionFilter:
         direct = lg.landmark_cost(pz, pz1)
         budget = (1.0 + self._eps) * direct
 
-        result = []
+        result: list[int] = []
         for pi in range(lg.num_partitions):
             if pi == pz or pi == pz1:
                 result.append(pi)
@@ -108,7 +110,7 @@ class PartitionFilter:
         self._vertex_cache[key] = result
         return result
 
-    def corridor_vertices(self, corridor) -> frozenset[int]:
+    def corridor_vertices(self, corridor: Iterable[int]) -> frozenset[int]:
         """Union of the member vertices of an explicit partition corridor.
 
         Memoised per corridor tuple; the *same frozenset object* is

@@ -188,7 +188,7 @@ class PaymentModel:
             i: self.detour_rate(shared_distances_m[i], shortest_distances_m[i]) for i in ids
         }
         sigma_total = sum(sigmas.values())
-        charges = []
+        charges: list[PassengerCharge] = []
         for i in ids:
             share = sigmas[i] / sigma_total if sigma_total > 0 else 0.0
             shared_fare = regular[i] - self._beta * benefit * share
@@ -228,7 +228,7 @@ class PaymentModel:
             raise ValueError("arriving passenger missing from the distance maps")
         regular = {i: self._schedule.fare(shortest_distances_m[i]) for i in ids}
         benefit = max(0.0, sum(regular.values()) - self._schedule.fare(route_distance_m))
-        sigmas = {}
+        sigmas: dict[int, float] = {}
         for i in ids:
             if i == arriving_id:
                 sigmas[i] = self.detour_rate(shared_distances_m[i], shortest_distances_m[i])

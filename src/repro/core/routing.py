@@ -70,7 +70,7 @@ def compose_route(
     """
     nodes = [start_node]
     times = [start_time]
-    stop_positions = []
+    stop_positions: list[int] = []
     for leg in legs:
         if not leg or leg[0] != nodes[-1]:
             raise ValueError(f"leg {leg!r} does not start at {nodes[-1]}")
@@ -217,7 +217,7 @@ class BasicRouter:
         # order -> bit-identical TaxiRoute).
         nodes = [start_node]
         times = [start_time]
-        stop_positions = []
+        stop_positions: list[int] = []
         node = start_node
         t = start_time
         for stop in stops:
@@ -237,7 +237,7 @@ class BasicRouter:
         # shortest paths before declaring the schedule infeasible.
         self.fallbacks += 1
         self._obs.count("route.fallback_routes")
-        legs = []
+        legs: list[list[int]] = []
         node = start_node
         for stop in stops:
             legs.append(self._engine.path(node, stop.node))
@@ -311,7 +311,7 @@ class ProbabilisticRouter(BasicRouter):
         if cached is not None:
             return cached
         ix, iy = lg.landmark_xy(pi)
-        out = []
+        out: list[int] = []
         for pa in range(lg.num_partitions):
             if pa == pi:
                 continue
@@ -354,7 +354,7 @@ class ProbabilisticRouter(BasicRouter):
         hops = {pz1: 0}
         frontier = [pz1]
         while frontier:
-            nxt_frontier = []
+            nxt_frontier: list[int] = []
             for node in frontier:
                 for nb in lg.neighbors(node):
                     if nb in retained_set and nb not in hops:

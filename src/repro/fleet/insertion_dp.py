@@ -32,7 +32,7 @@ def _prefix_state(
     cost_fn: CostFn,
     capacity: int,
     initial_onboard: int,
-):
+) -> tuple[list[float], list[int]]:
     """Arrival time and occupancy *before* each position of the base
     schedule, plus validity of the base prefix."""
     m = len(stops)

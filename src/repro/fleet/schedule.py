@@ -26,10 +26,14 @@ from __future__ import annotations
 import enum
 from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..demand.request import RideRequest
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..network.shortest_path import ShortestPathEngine
 
 
 class StopKind(enum.Enum):
@@ -335,7 +339,7 @@ class GroupedInsertionBatch:
 
 
 def evaluate_insertions_grouped(
-    engine,
+    engine: ShortestPathEngine,
     start_nodes: Sequence[int],
     start_times: Sequence[float],
     pendings: Sequence[Sequence[Stop]],
@@ -470,7 +474,7 @@ def evaluate_insertions_grouped(
 
 
 def evaluate_insertions(
-    engine,
+    engine: ShortestPathEngine,
     start_node: int,
     start_time: float,
     pending: Sequence[Stop],
@@ -561,7 +565,7 @@ def materialize_insertion(
 
 
 def score_insertions_tight(
-    engine,
+    engine: ShortestPathEngine,
     starts: Sequence[tuple[int, float, Sequence[Stop], int, int]],
     request: RideRequest,
     slack_s: float = 1e-9,
@@ -707,7 +711,7 @@ def score_insertions_tight(
 
 
 def best_insertion_tight(
-    engine,
+    engine: ShortestPathEngine,
     start_node: int,
     start_time: float,
     pending: Sequence[Stop],

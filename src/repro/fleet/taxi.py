@@ -273,7 +273,13 @@ class Taxi:
                 self._stops_fired = 0
         return traversed
 
-    def _fire_stop(self, stop: Stop, t: float, on_pickup, on_dropoff) -> None:
+    def _fire_stop(
+        self,
+        stop: Stop,
+        t: float,
+        on_pickup: Callable[["Taxi", RideRequest, float], None] | None,
+        on_dropoff: Callable[["Taxi", RideRequest, float], None] | None,
+    ) -> None:
         rid = stop.request.request_id
         if stop.kind is StopKind.PICKUP:
             request = self.assigned.pop(rid, None)

@@ -11,7 +11,7 @@ partition before its pick-up deadline* (refinement rule 3).
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 DEFAULT_HORIZON_S = 3600.0
 
@@ -71,7 +71,7 @@ class PartitionTaxiIndex:
         taxi_id: int,
         route_nodes: Sequence[int],
         route_times: Sequence[float],
-        partition_of,
+        partition_of: Callable[[int], int],
         now: float,
     ) -> None:
         """Index a taxi from its concrete route.
@@ -124,7 +124,7 @@ class PartitionTaxiIndex:
         """Partitions currently indexing ``taxi_id``."""
         return set(self._partitions_of_taxi.get(taxi_id, ()))
 
-    def union_taxis(self, partitions) -> list[int]:
+    def union_taxis(self, partitions: Iterable[int]) -> list[int]:
         """Union of the taxi lists of several partitions (Eq. 3 left side).
 
         Returned in ascending taxi-id order so downstream candidate

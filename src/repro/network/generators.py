@@ -141,7 +141,7 @@ def ring_radial_city(
     rng = np.random.default_rng(seed)
 
     points: list[tuple[float, float]] = [(0.0, 0.0)]
-    index = {}
+    index: dict[tuple[int, int], int] = {}
     for ring in range(1, num_rings + 1):
         radius = ring * ring_spacing_m
         for k in range(num_radials):
@@ -177,7 +177,7 @@ def small_test_network(speed_mps: float = DEFAULT_SPEED_MPS) -> RoadNetwork:
         0 1 2
     """
     xy = [(100.0 * (i % 3), 100.0 * (i // 3)) for i in range(9)]
-    edges = []
+    edges: list[tuple[int, int]] = []
     for r in range(3):
         for c in range(3):
             u = 3 * r + c

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Iterator
 
 EARTH_RADIUS_M = 6_371_000.0
 
@@ -34,7 +34,7 @@ class Point:
         """Euclidean distance to ``other`` in metres."""
         return math.hypot(self.x - other.x, self.y - other.y)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[float]:
         yield self.x
         yield self.y
 

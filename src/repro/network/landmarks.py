@@ -85,7 +85,7 @@ class LandmarkGraph:
     def to_tables(self) -> dict[str, np.ndarray]:
         """The landmark tables as named arrays for the artifact store.
 
-        Adjacency sets are flattened CSR-style (``adj_indptr`` +
+        Adjacency rows are flattened CSR-style (``adj_indptr`` +
         ``adj_indices``, neighbours sorted per row) so the round trip is
         deterministic.
         """
@@ -129,7 +129,7 @@ class LandmarkGraph:
         indptr = np.asarray(tables["adj_indptr"], dtype=np.int64)
         indices = np.asarray(tables["adj_indices"], dtype=np.int64)
         self._adjacency = [
-            {int(v) for v in indices[indptr[z]:indptr[z + 1]]}
+            tuple(int(v) for v in indices[indptr[z]:indptr[z + 1]])
             for z in range(len(self._partitions))
         ]
         self._landmark_cost = np.asarray(tables["landmark_cost"], dtype=np.float64).copy()
@@ -154,7 +154,7 @@ class LandmarkGraph:
         c = pts.mean(axis=0)
         return int(part[int(np.argmin(np.hypot(*(pts - c).T)))])
 
-    def _build_adjacency(self) -> list[set[int]]:
+    def _build_adjacency(self) -> list[tuple[int, ...]]:
         adjacency: list[set[int]] = [set() for _ in self._partitions]
         part_of = self._partition_of
         for u, v, _length in self._network.edges():
@@ -162,13 +162,12 @@ class LandmarkGraph:
             if pu != pv:
                 adjacency[pu].add(pv)
                 adjacency[pv].add(pu)
-        # Re-insert each set in sorted order: small-int sets iterate in an
-        # insertion-dependent order when hash slots collide, and corridor
-        # enumeration in probabilistic routing iterates these sets under a
-        # path budget.  Sorted insertion gives a fresh build the exact
-        # layout :meth:`from_tables` produces (its CSR rows are stored
-        # sorted), so cold and store-warmed runs take identical corridors.
-        return [set(sorted(neigh)) for neigh in adjacency]
+        # Sorted tuples, not sets: corridor enumeration in probabilistic
+        # routing iterates these rows under a path budget, so their order
+        # is decision-relevant.  A sorted tuple makes the order explicit
+        # and identical to the CSR layout :meth:`from_tables` restores,
+        # so cold and store-warmed runs take identical corridors.
+        return [tuple(sorted(neigh)) for neigh in adjacency]
 
     def _build_landmark_costs(self) -> np.ndarray:
         speed = self._network.speed_mps
@@ -229,8 +228,8 @@ class LandmarkGraph:
         """Max member distance from the centroid of partition ``z``."""
         return float(self._radii[z])
 
-    def neighbors(self, z: int) -> set[int]:
-        """Partitions adjacent to ``z`` (sharing at least one edge)."""
+    def neighbors(self, z: int) -> tuple[int, ...]:
+        """Partitions adjacent to ``z`` (sharing at least one edge), sorted."""
         return self._adjacency[z]
 
     def adjacent(self, a: int, b: int) -> bool:

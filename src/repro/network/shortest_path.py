@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import heapq
 from collections import OrderedDict
-from collections.abc import Callable, Collection, Mapping
+from collections.abc import Callable, Collection, Mapping, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -179,7 +179,7 @@ class ShortestPathEngine:
         """Whether ``v`` can be reached from ``u``."""
         return self.distance_m(u, v) != _UNREACHABLE
 
-    def cost_many(self, u: int, vs) -> np.ndarray:
+    def cost_many(self, u: int, vs: Sequence[int] | np.ndarray) -> np.ndarray:
         """Travel costs (seconds) from ``u`` to every vertex in ``vs``.
 
         One numpy slice of the cached source tree (full mode: a row of
@@ -191,7 +191,9 @@ class ShortestPathEngine:
         dist, _ = self._source_tree(u)
         return dist[vs] / self._network.speed_mps
 
-    def cost_matrix(self, us, vs) -> np.ndarray:
+    def cost_matrix(
+        self, us: Sequence[int] | np.ndarray, vs: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
         """``(len(us), len(vs))`` travel-cost matrix in seconds.
 
         Full mode slices the APSP matrix in one fancy-index operation;
@@ -329,7 +331,7 @@ class _InducedSubgraph:
     __slots__ = ("nodes", "indptr", "indices", "data_s")
 
     def __init__(self, network: RoadNetwork, allowed: frozenset) -> None:
-        nodes = np.fromiter(allowed, dtype=np.int64, count=len(allowed))
+        nodes = np.fromiter(allowed, dtype=np.int64, count=len(allowed))  # repro-lint: disable=REP001 reason=order canonicalised by the sort on the next line
         nodes.sort()
         sub = network.to_csr()[nodes][:, nodes].tocsr()
         self.nodes = nodes

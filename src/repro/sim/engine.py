@@ -22,6 +22,7 @@ import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from ..analysis import contracts
 from ..baselines.base import DispatchScheme
 from ..core.payment import PaymentModel
 from ..demand.request import RideRequest
@@ -222,6 +223,7 @@ class Simulator:
     # time advancement
     # ------------------------------------------------------------------
     def _advance_all(self, now: float) -> None:
+        contracts.check_monotone_clock(self._now, now)
         obs = self._obs
         for taxi in self._fleet.values():
             # The monotone lifetime counter survives schedule completion
@@ -246,6 +248,10 @@ class Simulator:
                 # Idle taxis may start a demand-seeking cruise (non-peak
                 # probabilistic mode); a no-op for every other scheme.
                 self._scheme.maybe_cruise(taxi, now)
+        # Encounter redispatch reclassifies served_online -> served_offline
+        # within the loop above, so the accounting contract is only checked
+        # here, at the event boundary, where the buckets are consistent.
+        contracts.check_request_accounting(self._metrics)
 
     def _register_offline(self, request: RideRequest) -> None:
         """Expose an offline request to every vertex it can hail from.
@@ -321,9 +327,9 @@ class Simulator:
             self._metrics.served_online += 1
 
     def _dispatch_online(self, request: RideRequest, now: float, count_response: bool = True) -> bool:
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro-lint: disable=REP003 reason=response-time metric only, never a decision input
         result = self._scheme.dispatch(request, now)
-        elapsed = time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0  # repro-lint: disable=REP003 reason=response-time metric only, never a decision input
         self._obs.record("sim.dispatch", elapsed)
         self._obs.event(
             "dispatch",
@@ -347,7 +353,7 @@ class Simulator:
     # ------------------------------------------------------------------
     def run(self) -> SimulationMetrics:
         """Execute the full workload and return the collected metrics."""
-        wall_start = time.perf_counter()
+        wall_start = time.perf_counter()  # repro-lint: disable=REP003 reason=wall_time_s metric only, never a decision input
         # The engine may be shared across runs (scenarios memoise it), so
         # cache statistics are reported as this run's delta.
         engine = self._scheme.engine
@@ -372,6 +378,7 @@ class Simulator:
                 self._register_offline(request)
             else:
                 self._dispatch_online(request, now)
+                contracts.check_request_accounting(self._metrics)
 
         # Drain: keep moving until every schedule is finished.
         now = last_release
@@ -411,6 +418,6 @@ class Simulator:
         obs.close()
 
         self._metrics.index_memory_bytes = self._scheme.index_memory_bytes()
-        self._metrics.wall_time_s = time.perf_counter() - wall_start
+        self._metrics.wall_time_s = time.perf_counter() - wall_start  # repro-lint: disable=REP003 reason=wall_time_s metric only, never a decision input
         self._metrics.check_balance()
         return self._metrics

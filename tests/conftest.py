@@ -7,6 +7,7 @@ import os
 import numpy as np
 import pytest
 
+from repro.analysis import contracts
 from repro.artifacts import ARTIFACT_DIR_ENV
 from repro.demand.request import RideRequest
 from repro.network.generators import grid_city, small_test_network
@@ -30,6 +31,24 @@ def _hermetic_artifact_store(tmp_path_factory):
     os.environ[ARTIFACT_DIR_ENV] = str(tmp_path_factory.mktemp("artifact-store"))
     yield
     os.environ.pop(ARTIFACT_DIR_ENV, None)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _contracts_on():
+    """Run the whole suite with runtime invariant contracts enabled.
+
+    Every simulation in the tier-1 tests then exercises the schedule /
+    clock / accounting contracts (see repro.analysis.contracts).  An
+    explicit ``REPRO_CONTRACTS=0`` still wins, so the disabled path can
+    be measured.
+    """
+    if os.environ.get(contracts.ENV_VAR, "").strip().lower() in ("0", "false", "off"):
+        yield
+        return
+    previous = contracts.enabled()
+    contracts.enable(True)
+    yield
+    contracts.enable(previous)
 
 
 @pytest.fixture(scope="session")

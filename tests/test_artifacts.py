@@ -318,3 +318,16 @@ def test_scenario_cache_rejects_bad_size():
 
     with pytest.raises(ValueError):
         sc.set_scenario_cache_size(0)
+
+
+def test_info_is_independent_of_creation_order(tmp_path):
+    """REP008 regression: the inventory walk must not depend on the
+    filesystem's directory-listing order, so two stores holding the
+    same artifacts — written in different orders — report identically."""
+    payloads = [("trace", {"x": i}, {"a": np.full(4, float(i))}) for i in range(4)]
+    stores = (ArtifactStore(tmp_path / "fwd"), ArtifactStore(tmp_path / "rev"))
+    for kind, spec, arrays in payloads:
+        stores[0].save(kind, stores[0].key_of(kind, spec), arrays, meta={})
+    for kind, spec, arrays in reversed(payloads):
+        stores[1].save(kind, stores[1].key_of(kind, spec), arrays, meta={})
+    assert stores[0].info() == stores[1].info()

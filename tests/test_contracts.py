@@ -1,0 +1,159 @@
+"""Runtime invariant contracts: violations raise, disabled mode is free.
+
+The suite-wide ``_contracts_on`` fixture (conftest) keeps contracts
+enabled for every other test, so the whole tier-1 run doubles as an
+integration test of the hooked invariants; this file checks the
+contract functions themselves plus the disabled path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import contracts
+from repro.analysis.contracts import ContractViolation
+from repro.fleet.schedule import dropoff, pickup
+from repro.sim.engine import Simulator
+from repro.sim.metrics import SimulationMetrics
+
+from .conftest import make_request
+
+
+@pytest.fixture
+def toggling():
+    """Restore the module flag no matter what a test does to it."""
+    previous = contracts.enabled()
+    yield
+    contracts.enable(previous)
+
+
+# ----------------------------------------------------------------------
+# check_schedule
+# ----------------------------------------------------------------------
+def test_valid_schedule_passes():
+    a, b = make_request(request_id=1), make_request(request_id=2)
+    stops = [pickup(a), pickup(b), dropoff(a), dropoff(b)]
+    contracts.check_schedule(stops, occupancy=0, capacity=3)
+
+
+def test_dropoff_before_pickup_raises():
+    a = make_request(request_id=1)
+    with pytest.raises(ContractViolation, match="before its pick-up"):
+        contracts.check_schedule([dropoff(a), pickup(a)], occupancy=0, capacity=3)
+
+
+def test_double_pickup_raises():
+    a = make_request(request_id=1)
+    with pytest.raises(ContractViolation, match="picked up twice"):
+        contracts.check_schedule(
+            [pickup(a), pickup(a), dropoff(a)], occupancy=0, capacity=3
+        )
+
+
+def test_onboard_dropoff_without_pickup_is_legal():
+    # A passenger already on board when the schedule starts has a
+    # drop-off with no preceding pick-up; that is the normal case.
+    a = make_request(request_id=1)
+    contracts.check_schedule([dropoff(a)], occupancy=1, capacity=3)
+
+
+def test_capacity_exceeded_raises():
+    a = make_request(request_id=1, num_passengers=2)
+    b = make_request(request_id=2, num_passengers=2)
+    stops = [pickup(a), pickup(b), dropoff(a), dropoff(b)]
+    with pytest.raises(ContractViolation, match="capacity exceeded"):
+        contracts.check_schedule(stops, occupancy=0, capacity=3)
+
+
+def test_negative_occupancy_raises():
+    a = make_request(request_id=1)
+    with pytest.raises(ContractViolation, match="negative occupancy"):
+        contracts.check_schedule([dropoff(a)], occupancy=0, capacity=3)
+
+
+# ----------------------------------------------------------------------
+# check_monotone_clock / check_request_accounting
+# ----------------------------------------------------------------------
+def test_monotone_clock():
+    contracts.check_monotone_clock(10.0, 10.0)
+    contracts.check_monotone_clock(10.0, 11.0)
+    with pytest.raises(ContractViolation, match="moved backwards"):
+        contracts.check_monotone_clock(11.0, 10.0)
+
+
+def test_request_accounting_upper_bound():
+    m = SimulationMetrics()
+    m.num_online = 2
+    m.num_offline = 1
+    m.served_online = 2
+    contracts.check_request_accounting(m)
+    m.unserved_online = 1
+    with pytest.raises(ContractViolation, match="overshoots"):
+        contracts.check_request_accounting(m)
+
+
+# ----------------------------------------------------------------------
+# enablement and overhead
+# ----------------------------------------------------------------------
+def test_disabled_contracts_are_noops(toggling):
+    contracts.enable(False)
+    a = make_request(request_id=1)
+    contracts.check_schedule([dropoff(a), pickup(a)], occupancy=0, capacity=0)
+    contracts.check_monotone_clock(11.0, 10.0)
+    m = SimulationMetrics()
+    m.served_online = 5
+    contracts.check_request_accounting(m)
+
+
+def test_env_parsing(monkeypatch):
+    for value, expected in [
+        ("", False),
+        ("0", False),
+        ("false", False),
+        ("off", False),
+        ("1", True),
+        ("yes", True),
+    ]:
+        monkeypatch.setenv(contracts.ENV_VAR, value)
+        assert contracts._env_enabled() is expected, value
+    monkeypatch.delenv(contracts.ENV_VAR)
+    assert contracts._env_enabled() is False
+
+
+def test_invariant_metadata():
+    assert contracts.check_schedule.__name__ == "check_schedule"
+    assert "capacity" in contracts.check_schedule.contract_description
+
+
+def test_disabled_overhead_below_five_percent(toggling, test_scenario):
+    """Mirror of test_obs's overhead bound, for the contract layer.
+
+    A disabled contract check costs one call + one flag branch.  Bound
+    the projected total (per-call cost x calls a small run makes)
+    against 5% of that run's wall time.
+    """
+    contracts.enable(False)
+
+    reps = 200_000
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        contracts.check_monotone_clock(1.0, 2.0)
+    per_call = (time.perf_counter() - t0) / reps
+
+    contracts.enable(True)
+    sim = Simulator(
+        test_scenario.make_scheme("mt-share"),
+        test_scenario.make_fleet(15, seed=1),
+        test_scenario.requests(),
+    )
+    metrics = sim.run()
+    # One clock + one accounting check per event, one schedule check
+    # per installed plan: bounded by requests + served counts.
+    calls = 2 * metrics.num_requests + metrics.served + len(metrics.waiting_times_s)
+    projected = per_call * calls
+    assert projected <= 0.05 * metrics.wall_time_s, (
+        f"disabled contracts projected at {projected:.6f}s "
+        f"vs wall {metrics.wall_time_s:.3f}s"
+    )

@@ -1,0 +1,63 @@
+"""Double-run determinism smoke test.
+
+Runs the quick Fig. 21-style scenario twice in one process — caches
+cleared in between, so the second run rebuilds the scenario and
+re-simulates from scratch — and requires bit-identical dispatch
+decisions and metric summaries.  This is the cheap in-process cousin of
+test_runner_parallel's cross-process determinism check, and the one a
+hash-seed- or set-iteration-order regression trips first.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import RunKey, clear_cache, run
+from repro.sim.scenario import ScenarioSpec
+
+from .test_runner_parallel import decision_fingerprint
+
+QUICK_SPEC = ScenarioSpec(
+    kind="peak",
+    grid_rows=8,
+    grid_cols=8,
+    spacing_m=180.0,
+    hourly_requests=120,
+    history_days=2,
+    num_partitions=9,
+    offline_count=10,
+    seed=3,
+)
+
+#: Wall-clock-derived summary keys; everything else must match exactly.
+MEASURED_KEYS = frozenset(
+    {"response_ms", "stage_candidates_ms", "stage_insertion_ms", "stage_planning_ms"}
+)
+
+
+def decision_summary(metrics) -> dict[str, float]:
+    return {k: v for k, v in metrics.summary().items() if k not in MEASURED_KEYS}
+
+
+def test_double_run_identical_decisions_and_metrics():
+    key = RunKey(spec=QUICK_SPEC, scheme="mt-share", num_taxis=20)
+
+    clear_cache()
+    first = run(key)
+    clear_cache()
+    second = run(key)
+    clear_cache()
+
+    assert decision_fingerprint(first) == decision_fingerprint(second)
+    assert decision_summary(first) == decision_summary(second)
+
+
+def test_double_run_baseline_scheme():
+    key = RunKey(spec=QUICK_SPEC, scheme="t-share", num_taxis=15)
+
+    clear_cache()
+    first = run(key)
+    clear_cache()
+    second = run(key)
+    clear_cache()
+
+    assert decision_fingerprint(first) == decision_fingerprint(second)
+    assert decision_summary(first) == decision_summary(second)

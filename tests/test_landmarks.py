@@ -46,8 +46,8 @@ class TestStructure:
         assert lg.partition_of_many([0, 4, 8]).tolist() == [0, 1, 2]
 
     def test_adjacency(self, lg):
-        assert lg.neighbors(0) == {1}
-        assert lg.neighbors(1) == {0, 2}
+        assert lg.neighbors(0) == (1,)
+        assert lg.neighbors(1) == (0, 2)
         assert lg.adjacent(0, 1)
         assert not lg.adjacent(0, 2)
 
@@ -104,3 +104,25 @@ class TestOnScenarioPartitions:
         # all vertices covered exactly once
         seen = sorted(v for z in range(lg.num_partitions) for v in lg.members(z))
         assert seen == list(range(small_net.num_vertices))
+
+
+class TestAdjacencyOrderDeterminism:
+    """Regression for the PR 3 bug class: adjacency must have an
+    explicit, hash-seed-independent iteration order."""
+
+    def test_neighbors_are_sorted_tuples(self, small_landmarks):
+        lg = small_landmarks
+        for z in range(lg.num_partitions):
+            neigh = lg.neighbors(z)
+            assert isinstance(neigh, tuple)
+            assert list(neigh) == sorted(neigh)
+
+    def test_table_round_trip_preserves_adjacency_exactly(
+        self, small_landmarks, small_net, small_partitioning
+    ):
+        lg = small_landmarks
+        restored = LandmarkGraph.from_tables(
+            small_net, small_partitioning.partitions, lg.to_tables()
+        )
+        for z in range(lg.num_partitions):
+            assert restored.neighbors(z) == lg.neighbors(z)
