@@ -1,0 +1,156 @@
+"""Chaos smoke: faulted runs are deterministic, faults-off is a no-op.
+
+Three guarantees from docs/ROBUSTNESS.md, checked end-to-end on a small
+scenario with runtime contracts armed:
+
+1. **Faults-off no-op.**  A run handed an *empty* ``FaultPlan`` (a spec
+   with every rate at zero) produces the exact same trips and metrics
+   as a run with ``faults=None`` — the injection layer normalises empty
+   plans away and never touches clean decisions.
+2. **Chaos determinism.**  Two faulted runs with the same fault seed
+   produce identical decision fingerprints (same trips, same metrics up
+   to wall-clock keys) despite breakdowns, cancellations and shocks.
+3. **Accounting closure.**  The faulted run's extended bucket identity
+   (``served + unserved + cancelled + stranded == population``) closes
+   via ``SimulationMetrics.check_balance()``, and the fault buckets are
+   actually exercised (breakdowns > 0).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/chaos_smoke.py --out CHAOS.json
+
+Exits nonzero on any violation.  Runs with contracts armed regardless
+of the environment (``contracts.enable(True)``), so every boundary also
+re-validates schedule feasibility, clock monotonicity and the mid-run
+accounting bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.analysis import contracts  # noqa: E402
+from repro.core.payment import PaymentModel  # noqa: E402
+from repro.faults.plan import FaultPlan, FaultSpec  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+from repro.sim.scenario import ScenarioSpec, get_scenario  # noqa: E402
+
+#: Same churn profile the tier-1 suite uses (tests/test_faults.py).
+CHAOS = "seed=7,breakdown_rate=0.3,cancel_rate=0.15,shock_windows=2"
+
+#: Wall-clock-derived summary keys; everything else must match exactly.
+MEASURED_KEYS = frozenset(
+    {"response_ms", "stage_candidates_ms", "stage_insertion_ms", "stage_planning_ms"}
+)
+
+SPEC = ScenarioSpec(
+    kind="peak", grid_rows=12, grid_cols=12, spacing_m=180.0,
+    hourly_requests=250, history_days=2, num_partitions=16,
+    offline_count=40, seed=3,
+)
+
+
+def _run(scenario, faults):
+    """One mt-share run; returns (metrics, fingerprint, decision dict)."""
+    requests = scenario.requests()
+    fleet = scenario.make_fleet(15, seed=1)
+    if isinstance(faults, str) or faults is None:
+        faults = scenario.fault_plan(faults, fleet, requests)
+    sim = Simulator(
+        scenario.make_scheme("mt-share"), fleet, requests,
+        payment=PaymentModel(), faults=faults,
+    )
+    metrics = sim.run()
+    decisions = {
+        "trips": {
+            str(rid): [t.taxi_id, t.assign_time, t.pickup_time, t.dropoff_time]
+            for rid, t in sorted(sim.log.trips.items())
+        },
+        "summary": {
+            k: v for k, v in sorted(metrics.summary().items())
+            if k not in MEASURED_KEYS
+        },
+    }
+    blob = json.dumps(decisions, sort_keys=True).encode()
+    return metrics, hashlib.sha256(blob).hexdigest(), decisions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write a JSON report here")
+    args = parser.parse_args(argv)
+
+    contracts.enable(True)
+    scenario = get_scenario(SPEC)
+    t0 = time.perf_counter()
+
+    plain_m, plain_fp, _ = _run(scenario, None)
+    empty = FaultPlan(spec=FaultSpec(seed=SPEC.seed))
+    off_m, off_fp, _ = _run(scenario, empty)
+    chaos_a_m, chaos_a_fp, _ = _run(scenario, CHAOS)
+    _chaos_b_m, chaos_b_fp, _ = _run(scenario, CHAOS)
+
+    failures = []
+    if off_fp != plain_fp:
+        failures.append(
+            f"faults-off run diverged from plain run: {off_fp} != {plain_fp}"
+        )
+    if off_m.breakdowns or off_m.cancelled or off_m.stranded:
+        failures.append("empty fault plan populated fault buckets")
+    if chaos_a_fp != chaos_b_fp:
+        failures.append(
+            f"same fault seed, different runs: {chaos_a_fp} != {chaos_b_fp}"
+        )
+    if chaos_a_fp == plain_fp:
+        failures.append("chaos run identical to plain run: faults never fired")
+    if chaos_a_m.breakdowns == 0:
+        failures.append("chaos run injected no breakdowns")
+    for label, m in (("plain", plain_m), ("faults-off", off_m), ("chaos", chaos_a_m)):
+        try:
+            m.check_balance()
+        except AssertionError as exc:
+            failures.append(f"{label} run failed check_balance(): {exc}")
+
+    report = {
+        "scenario": "peak 12x12, 250 req/h, 15 taxis, seed 3",
+        "chaos_spec": CHAOS,
+        "fingerprints": {
+            "plain": plain_fp, "faults_off": off_fp,
+            "chaos_a": chaos_a_fp, "chaos_b": chaos_b_fp,
+        },
+        "chaos_buckets": {
+            "breakdowns": chaos_a_m.breakdowns,
+            "cancelled": chaos_a_m.cancelled,
+            "reassigned": chaos_a_m.reassigned,
+            "stranded": chaos_a_m.stranded,
+            "continuations": chaos_a_m.continuations,
+            "shock_delays": chaos_a_m.shock_delays,
+            "unsettled_episodes": chaos_a_m.unsettled_episodes,
+        },
+        "elapsed_s": round(time.perf_counter() - t0, 2),
+        "failures": failures,
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+    print(json.dumps(report, indent=2))
+    if failures:
+        print(f"chaos smoke FAILED ({len(failures)} violation(s))", file=sys.stderr)
+        return 1
+    print("chaos smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

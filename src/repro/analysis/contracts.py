@@ -147,11 +147,23 @@ def check_request_accounting(metrics: "SimulationMetrics") -> None:
     ``check_balance`` stays an unconditional end-of-run assertion; this
     contract makes the same identity checkable *mid-run* as an upper
     bound (no bucket may overshoot its population while requests are
-    still in flight).
+    still in flight).  The fault buckets — cancellations and strandings
+    move a request out of its served bucket, never into a second one —
+    are part of the identity, so it holds under injected churn too
+    (docs/ROBUSTNESS.md).
     """
-    online = metrics.served_online + metrics.unserved_online
+    online = (
+        metrics.served_online
+        + metrics.unserved_online
+        + metrics.cancelled_online
+        + metrics.stranded_online
+    )
     offline = (
-        metrics.served_offline + metrics.expired_offline + metrics.unserved_offline
+        metrics.served_offline
+        + metrics.expired_offline
+        + metrics.unserved_offline
+        + metrics.cancelled_offline
+        + metrics.stranded_offline
     )
     if online > metrics.num_online or offline > metrics.num_offline:
         raise ContractViolation(

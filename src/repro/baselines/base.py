@@ -16,12 +16,12 @@ from ..analysis import contracts
 from ..config import SystemConfig
 from ..core.matching import MatchResult
 from ..demand.request import RideRequest
-from ..fleet.schedule import evaluate_insertions
+from ..fleet.schedule import evaluate_insertions, remove_request_stops
 from ..fleet.taxi import Taxi
 from ..network.graph import RoadNetwork
 from ..network.shortest_path import ShortestPathEngine
 from ..obs import NULL, Instrumentation
-from ..core.routing import BasicRouter, ProbabilisticRouter, RouteInfeasible
+from ..core.routing import BasicRouter, ProbabilisticRouter, RouteInfeasible, compose_route
 
 
 class DispatchScheme(abc.ABC):
@@ -132,6 +132,57 @@ class DispatchScheme(abc.ABC):
 
     def on_request_finished(self, request: RideRequest) -> None:
         """Called when a request's passengers are dropped off."""
+
+    # ------------------------------------------------------------------
+    # fault hooks (repro.faults; docs/ROBUSTNESS.md)
+    # ------------------------------------------------------------------
+    def on_taxi_breakdown(self, taxi: Taxi, now: float) -> None:
+        """Called when a taxi goes out of service mid-run.
+
+        Subclasses evict the taxi from their index structures so it can
+        never again appear in a candidate set; the base scheme keeps no
+        per-taxi index.  The simulator has already cleared the taxi's
+        plan and commitments when this fires.
+        """
+
+    def on_taxi_replanned(self, taxi: Taxi, now: float) -> None:
+        """Called after the simulator rewrote a taxi's plan in place
+        (a cancellation removed stops, a shock delayed the route);
+        default: refresh the taxi's index entries."""
+        self._index_taxi(taxi, now)
+
+    def cancel_assigned(self, taxi: Taxi, request: RideRequest, now: float) -> bool:
+        """Withdraw an assigned-but-not-picked-up request from a taxi.
+
+        Removes the request's stops from the pending schedule and
+        replans the route for everyone left.  Stop removal only
+        shortens arrivals (triangle inequality), so the deadline-checked
+        replanning normally succeeds; if a shock delay has meanwhile
+        pushed a co-rider past a deadline, the route is rebuilt from
+        plain shortest paths without deadline validation — passengers
+        already committed must still be delivered.  Returns True when
+        the cancellation was applied.
+        """
+        node, ready = taxi.position_at(now)
+        remaining = remove_request_stops(taxi.pending_stops(), request.request_id)
+        taxi.unassign(request)
+        if remaining:
+            contracts.check_schedule(remaining, taxi.occupancy, taxi.capacity)
+            try:
+                route = self._fallback_router.route_for_schedule(node, ready, remaining)
+            except RouteInfeasible:
+                legs = []
+                prev = node
+                for stop in remaining:
+                    legs.append(self._engine.path(prev, stop.node))
+                    prev = stop.node
+                route = compose_route(self._network, node, ready, legs)
+            taxi.set_plan(remaining, route)
+        else:
+            taxi.clear_plan()
+        self.on_request_finished(request)
+        self.on_taxi_replanned(taxi, now)
+        return True
 
     def index_memory_bytes(self) -> int:
         """Approximate footprint of this scheme's index structures."""

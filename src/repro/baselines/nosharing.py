@@ -26,11 +26,15 @@ class NoSharing(DispatchScheme):
         self._idle_index = GridSpatialIndex(cell_size_m=max(200.0, config.search_range_m / 5))
 
     def _index_taxi(self, taxi: Taxi, now: float) -> None:
-        if taxi.idle:
+        if taxi.idle and not taxi.out_of_service:
             x, y = self._network.xy[taxi.loc]
             self._idle_index.insert(taxi.taxi_id, float(x), float(y))
         else:
             self._idle_index.remove(taxi.taxi_id)
+
+    def on_taxi_breakdown(self, taxi: Taxi, now: float) -> None:
+        """A broken taxi is no longer idle capacity: drop it from the grid."""
+        self._idle_index.remove(taxi.taxi_id)
 
     def dispatch(self, request: RideRequest, now: float) -> MatchResult | None:
         """Assign the nearest idle taxi that can make the pick-up deadline."""

@@ -40,6 +40,10 @@ class PGreedyDP(DispatchScheme):
         """Keep current positions fresh, as with T-Share."""
         self._index_taxi(taxi, now)
 
+    def on_taxi_breakdown(self, taxi: Taxi, now: float) -> None:
+        """Evict the broken taxi from the position grid."""
+        self._position_index.remove(taxi.taxi_id)
+
     # ------------------------------------------------------------------
     def _candidates(self, request: RideRequest, now: float) -> list[Taxi]:
         gamma = self._config.gamma_for_wait(request.max_wait)

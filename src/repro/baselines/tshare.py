@@ -45,6 +45,10 @@ class TShare(DispatchScheme):
         position index, unlike mT-Share's route-based partition lists."""
         self._index_taxi(taxi, now)
 
+    def on_taxi_breakdown(self, taxi: Taxi, now: float) -> None:
+        """Evict the broken taxi from the position grid."""
+        self._position_index.remove(taxi.taxi_id)
+
     # ------------------------------------------------------------------
     def _dual_side_candidates(self, request: RideRequest, now: float) -> list[Taxi]:
         """Origin-side disc intersected with the destination-side disc.

@@ -61,6 +61,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--trace", metavar="PATH", default=None,
                      help="append a structured JSONL event trace (stage "
                           "timings, dispatches, offline encounters) to PATH")
+    sim.add_argument("--faults", metavar="SPEC", default=None,
+                     help="inject deterministic faults; SPEC is "
+                          "key=value[,key=value...] with keys seed, "
+                          "breakdown_rate, cancel_rate, shock_windows, "
+                          "shock_delay_s, shock_duration_s, "
+                          "shock_radius_frac, continuation_rho, "
+                          "continuation_wait_s (see docs/ROBUSTNESS.md)")
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(list(ALL_EXPERIMENTS) + list(ALL_ABLATIONS)))
@@ -97,13 +104,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     scheme = scenario.make_scheme(args.scheme, config=config)
     requests = scenario.requests(rho=args.rho)
     fleet = scenario.make_fleet(args.taxis, capacity=args.capacity)
+    try:
+        faults = scenario.fault_plan(args.faults, fleet, requests)
+    except ValueError as exc:
+        print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+        return 2
     print(
         f"Simulating {scheme.name}: {len(requests)} requests, "
         f"{args.taxis} taxis, {scenario.network.num_vertices} vertices"
+        + (f", {faults.num_events} fault events" if faults is not None else "")
     )
     try:
         sim = Simulator(
-            scheme, fleet, requests, payment=PaymentModel(), trace_path=args.trace
+            scheme, fleet, requests, payment=PaymentModel(),
+            trace_path=args.trace, faults=faults,
         )
     except OSError as exc:
         print(f"error: cannot open trace file: {exc}", file=sys.stderr)

@@ -200,6 +200,16 @@ class MTShare(DispatchScheme):
         """Drop the finished request from its mobility cluster."""
         self._cindex.remove_request(request.request_id)
 
+    def on_taxi_breakdown(self, taxi: Taxi, now: float) -> None:
+        """Evict the broken taxi from both index views.
+
+        The partition lists would otherwise keep advertising its stale
+        future arrivals (``P_z.L_t``) and the cluster index its last
+        mobility vector, so a dead taxi could keep winning matches.
+        """
+        self._pindex.remove_taxi(taxi.taxi_id)
+        self._cindex.update_taxi(taxi.taxi_id, None)
+
     def try_offline(self, taxi: Taxi, request: RideRequest, now: float) -> MatchResult | None:
         """Offline encounter: examine only this taxi's schedule."""
         return self._matcher.insertion_for_taxi(taxi, request, now)

@@ -1,0 +1,58 @@
+"""Recovery policy helpers: continuation requests for salvaged passengers.
+
+When a taxi breaks down, its onboard passengers are dropped at the
+breakdown vertex and must be re-collected by another taxi.  The engine
+models that as a *continuation request*: a fresh online request from the
+breakdown vertex to the original destination, released at the breakdown
+instant, with a deadline rebuilt from the fault spec's ``rho`` and
+waiting budget (the original deadline may already be unreachable and
+would make the salvaged leg trivially infeasible).
+
+Continuation ids live in a reserved band above real request ids so
+traces and metrics can tell them apart, and so chained breakdowns (a
+continuation's taxi breaking down again) keep producing unique ids.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..demand.request import RideRequest
+from ..network.shortest_path import ShortestPathEngine
+
+__all__ = ["CONTINUATION_ID_BASE", "continuation_request"]
+
+#: Continuation request ids start here; real workloads stay far below.
+CONTINUATION_ID_BASE = 1_000_000_000
+
+
+def continuation_request(
+    engine: ShortestPathEngine,
+    original: RideRequest,
+    cont_id: int,
+    origin: int,
+    now: float,
+    rho: float,
+    wait_s: float,
+) -> RideRequest | None:
+    """Build the continuation of ``original`` from the breakdown vertex.
+
+    Returns ``None`` when the salvaged leg is degenerate (the breakdown
+    vertex has no path to the destination).  The deadline is
+    ``now + rho * direct_cost + wait_s`` which always satisfies the
+    request-validity constraint ``deadline >= release + direct_cost``
+    and leaves a positive waiting budget for re-collection.
+    """
+    direct_cost = float(engine.cost(origin, original.destination))
+    if not math.isfinite(direct_cost):  # unreachable breakdown vertex
+        return None
+    return RideRequest(
+        request_id=cont_id,
+        release_time=now,
+        origin=origin,
+        destination=original.destination,
+        deadline=now + rho * direct_cost + wait_s,
+        direct_cost=direct_cost,
+        num_passengers=original.num_passengers,
+        offline=False,
+    )

@@ -90,6 +90,17 @@ def request_stop_pair(request: RideRequest) -> tuple[Stop, Stop]:
     return pickup(request), dropoff(request)
 
 
+def remove_request_stops(stops: Sequence[Stop], request_id: int) -> list[Stop]:
+    """A copy of ``stops`` without the given request's stops.
+
+    Used when a passenger cancels pre-pickup: the relative order of
+    everyone else's stops is preserved, and by the triangle inequality
+    dropping stops can only shorten the remaining arrivals, so a
+    feasible schedule stays feasible.
+    """
+    return [s for s in stops if s.request.request_id != request_id]
+
+
 CostFn = Callable[[int, int], float]
 
 

@@ -142,6 +142,10 @@ class Taxi:
     onboard: dict[int, RideRequest] = field(default_factory=dict)
     assigned: dict[int, RideRequest] = field(default_factory=dict)
     probabilistic_mode: bool = False
+    #: Broken-down taxis stay in the fleet dict (their log entries and
+    #: episode settlements remain addressable) but are skipped by the
+    #: simulator and must never receive new plans.
+    out_of_service: bool = False
     _route_cursor: int = 0
     _stops_fired: int = 0
     _onboard_pax: int = 0
@@ -216,8 +220,17 @@ class Taxi:
         """
         if len(route.stop_positions) != len(stops):
             raise TaxiError("route stop markers do not match the schedule")
+        if self.out_of_service:
+            raise TaxiError(f"taxi {self.taxi_id} is out of service")
         self.schedule = list(stops)
         self.route = route
+        self._route_cursor = 0
+        self._stops_fired = 0
+
+    def clear_plan(self) -> None:
+        """Drop the current schedule and route, leaving the taxi parked."""
+        self.schedule = []
+        self.route = TaxiRoute()
         self._route_cursor = 0
         self._stops_fired = 0
 
@@ -225,8 +238,62 @@ class Taxi:
         """Record a new not-yet-picked-up request."""
         if request.request_id in self.assigned or request.request_id in self.onboard:
             raise TaxiError(f"request {request.request_id} already on taxi {self.taxi_id}")
+        if self.out_of_service:
+            raise TaxiError(f"taxi {self.taxi_id} is out of service")
         self.assigned[request.request_id] = request
         self._assigned_pax += request.num_passengers
+
+    def unassign(self, request: RideRequest) -> None:
+        """Withdraw a not-yet-picked-up request (passenger cancellation)."""
+        rid = request.request_id
+        if rid not in self.assigned:
+            raise TaxiError(f"request {rid} is not assigned to taxi {self.taxi_id}")
+        del self.assigned[rid]
+        self._assigned_pax -= request.num_passengers
+
+    # ------------------------------------------------------------------
+    # fault handling
+    # ------------------------------------------------------------------
+    def break_down(self) -> tuple[list[RideRequest], list[RideRequest]]:
+        """Take the taxi out of service at its current location.
+
+        Clears the plan and sheds every commitment, returning
+        ``(onboard, assigned)`` requests in ascending-id order so the
+        simulator can recover them deterministically.  Onboard
+        passengers are considered dropped at :attr:`loc`.
+        """
+        onboard = [self.onboard[rid] for rid in sorted(self.onboard)]
+        assigned = [self.assigned[rid] for rid in sorted(self.assigned)]
+        self.onboard = {}
+        self.assigned = {}
+        self._onboard_pax = 0
+        self._assigned_pax = 0
+        self.clear_plan()
+        self.out_of_service = True
+        return onboard, assigned
+
+    def apply_delay(self, delay_s: float) -> bool:
+        """Shift every not-yet-reached route arrival by ``delay_s``.
+
+        Models a zonal travel-time shock: the remainder of the current
+        route takes ``delay_s`` seconds longer.  Returns False (no-op)
+        when there is no remaining route or the delay is non-positive.
+        The route object is replaced, never mutated in place — match
+        results may still hold a reference to the original.
+        """
+        route = self.route
+        cursor = self._route_cursor
+        if delay_s <= 0.0 or cursor >= len(route.nodes):
+            return False
+        times = list(route.times)
+        for i in range(cursor, len(times)):
+            times[i] += delay_s
+        self.route = TaxiRoute(
+            nodes=list(route.nodes),
+            times=times,
+            stop_positions=list(route.stop_positions),
+        )
+        return True
 
     # ------------------------------------------------------------------
     # simulation
@@ -264,12 +331,27 @@ class Taxi:
                 self._stops_fired_total += 1
             self._route_cursor += 1
 
-        if self._stops_fired and self._stops_fired == len(self.schedule):
-            remaining = self._route_cursor >= len(route.nodes)
-            if remaining:
+        # Tear down a completed plan.  The gate must not require
+        # ``_stops_fired`` to be truthy (a zero-stop plan installed via
+        # ``set_plan`` would otherwise never reset) and must also handle
+        # a fully-fired schedule whose route carries trailing vertices:
+        # such a taxi has served everyone, so the leftover tail is a
+        # passenger-less cruise, not a reason to report busy — with the
+        # old gate it reported non-idle with no pending stops and spun
+        # the drain loop until the horizon.
+        if self._stops_fired == len(self.schedule):
+            if self._route_cursor >= len(route.nodes):
+                if self.schedule or route.nodes:
+                    self.clear_plan()
+            elif self.schedule:
+                # All stops served but vertices remain: demote the tail
+                # to a cruise (idle semantics, position tracking intact).
+                self.route = TaxiRoute(
+                    nodes=list(route.nodes),
+                    times=list(route.times),
+                    stop_positions=[],
+                )
                 self.schedule = []
-                self.route = TaxiRoute()
-                self._route_cursor = 0
                 self._stops_fired = 0
         return traversed
 

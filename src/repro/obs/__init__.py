@@ -27,6 +27,15 @@ path engine source-tree cache), ``match.insertions_evaluated``,
 ``sim.stop_notifications`` (index-refresh pressure), and the end-of-run
 index gauges (``index.partition_entries``, ``index.clusters``).
 
+Fault-injection runs (``repro.faults``, docs/ROBUSTNESS.md) add the
+``fault.*`` family — ``fault.breakdowns``, ``fault.cancellations``,
+``fault.continuations``, ``fault.redispatches``, ``fault.stranded``,
+``fault.shock_delays`` — plus ``sim.unsettled_episodes`` for episodes
+force-settled at the drain-horizon cutoff.  The matching trace events
+(``breakdown``, ``cancel``, ``continuation``, ``stranded``, ``shock``,
+``unsettled_episode``) carry the affected taxi/request ids and the
+simulation time.
+
 Usage: the simulator owns an :class:`Instrumentation` (or a caller
 passes one, optionally wrapping a :class:`JsonlTraceWriter`), attaches
 it to the scheme via ``scheme.instrument(obs)`` and snapshots the

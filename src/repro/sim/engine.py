@@ -18,6 +18,7 @@ another taxi to serve it").
 
 from __future__ import annotations
 
+import math
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
@@ -26,6 +27,8 @@ from ..analysis import contracts
 from ..baselines.base import DispatchScheme
 from ..core.payment import PaymentModel
 from ..demand.request import RideRequest
+from ..faults.plan import FaultPlan, ShockWindow
+from ..faults.recovery import CONTINUATION_ID_BASE, continuation_request
 from ..fleet.taxi import FleetLog, Taxi
 from ..index.spatial import StaticVertexGrid
 from ..network.shortest_path import subgraph_cache_stats
@@ -80,6 +83,11 @@ class Simulator:
     trace_path:
         When given (and ``obs`` is omitted), stage exits and dispatch
         events are additionally appended to this JSONL file.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` of disruptions to
+        replay at event boundaries (breakdowns, cancellations, shock
+        windows); ``None`` or an empty plan leaves the simulation path
+        bit-identical to a fault-free run.  See docs/ROBUSTNESS.md.
     """
 
     def __init__(
@@ -92,6 +100,7 @@ class Simulator:
         encounter_radius_m: float = DEFAULT_ENCOUNTER_RADIUS_M,
         obs: Instrumentation | None = None,
         trace_path: str | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self._scheme = scheme
         if obs is None:
@@ -119,6 +128,17 @@ class Simulator:
         self._vertex_grid: StaticVertexGrid | None = None
         self._was_busy: dict[int, bool] = {}
         self._now = 0.0
+        # Fault-injection state.  An empty plan is normalised to None so
+        # a "faults off" run takes exactly the pre-fault code path.
+        self._faults = faults if faults is not None and not faults.empty else None
+        self._breakdown_i = 0
+        self._cancel_i = 0
+        self._shocked: set[tuple[int, int]] = set()
+        # continuation/redispatched request id -> the original workload
+        # request whose accounting bucket the recovery chain occupies.
+        self._continuation_root: dict[int, RideRequest] = {}
+        self._cont_serial = 0
+        self._request_by_id: dict[int, RideRequest] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -211,7 +231,11 @@ class Simulator:
         shared = {}
         for rid, request in episode.member_requests.items():
             shortest[rid] = request.direct_cost * speed
-            shared[rid] = (episode.dropoff_times[rid] - episode.pickup_times[rid]) * speed
+            # Members without a drop-off were still aboard when the
+            # episode was cut short (breakdown, drain horizon); they are
+            # settled as if delivered at the cut instant.
+            end = episode.dropoff_times.get(rid, end_time)
+            shared[rid] = (end - episode.pickup_times[rid]) * speed
         route_m = (end_time - episode.start_time) * speed
         settlement = self._payment.settle(shortest, shared, route_m)
         self._metrics.regular_fares += settlement.total_regular_fare
@@ -226,6 +250,8 @@ class Simulator:
         contracts.check_monotone_clock(self._now, now)
         obs = self._obs
         for taxi in self._fleet.values():
+            if taxi.out_of_service:
+                continue
             # The monotone lifetime counter survives schedule completion
             # (which resets the per-schedule ``_stops_fired`` index), so
             # this comparison reports *true* firings only: an idle taxi
@@ -315,6 +341,190 @@ class Simulator:
             self._obs.count("sim.encounters_scanned", scanned)
 
     # ------------------------------------------------------------------
+    # fault injection (repro.faults; docs/ROBUSTNESS.md)
+    # ------------------------------------------------------------------
+    def _apply_faults(self, now: float) -> None:
+        """Replay every scheduled fault whose time has come.
+
+        Called at each event boundary right after the fleet advanced to
+        ``now`` — *boundary semantics*: an event drawn for time ``t``
+        takes effect at the first boundary with ``t <= now``, which is
+        what keeps faulted runs deterministic for a given plan.
+        Cancellations run before breakdowns at the same boundary, so a
+        withdrawn request is never pointlessly re-dispatched.
+        """
+        plan = self._faults
+        if plan is None:
+            return
+        cancels = plan.cancellations
+        while self._cancel_i < len(cancels) and cancels[self._cancel_i].time <= now:
+            event = cancels[self._cancel_i]
+            self._cancel_i += 1
+            request = self._request_by_id.get(event.request_id)
+            if request is not None:
+                self._handle_cancel(request, now)
+        breakdowns = plan.breakdowns
+        while self._breakdown_i < len(breakdowns) and breakdowns[self._breakdown_i].time <= now:
+            event = breakdowns[self._breakdown_i]
+            self._breakdown_i += 1
+            taxi = self._fleet.get(event.taxi_id)
+            if taxi is not None and not taxi.out_of_service:
+                self._handle_breakdown(taxi, now)
+        for k, window in enumerate(plan.shocks):
+            if window.start <= now < window.end:
+                self._apply_shock(k, window, now)
+        contracts.check_request_accounting(self._metrics)
+
+    def _handle_breakdown(self, taxi: Taxi, now: float) -> None:
+        """Take a taxi out of service and salvage its commitments.
+
+        Recovery policy: the interrupted payment episode is settled at
+        the breakdown instant; onboard passengers are dropped at the
+        breakdown vertex and re-enter the dispatch queue as continuation
+        requests; assigned-but-not-picked-up requests are re-dispatched
+        as-is.  Whatever cannot be re-placed is counted ``stranded``.
+        """
+        tid = taxi.taxi_id
+        episode = self._episodes.get(tid)
+        onboard, assigned = taxi.break_down()
+        self._was_busy[tid] = False
+        self._scheme.on_taxi_breakdown(taxi, now)
+        self._metrics.breakdowns += 1
+        self._obs.count("fault.breakdowns")
+        self._obs.event(
+            "breakdown", taxi=tid, t=now,
+            onboard=len(onboard), assigned=len(assigned),
+        )
+        if episode is not None and episode.active:
+            self._settle_episode(taxi, episode, now)
+            episode.active = False
+        for request in onboard:
+            self._scheme.on_request_finished(request)
+            self._salvage_onboard(request, taxi.loc, now)
+        for request in assigned:
+            self._scheme.on_request_finished(request)
+            self._redispatch_request(request, now)
+
+    def _salvage_onboard(self, request: RideRequest, node: int, now: float) -> None:
+        """Recover one passenger group dropped at the breakdown vertex."""
+        rid = request.request_id
+        root = self._continuation_root.get(rid, request)
+        if node == request.destination:
+            # The taxi died exactly at the drop-off vertex: complete the
+            # trip inline (mirrors the ``_on_dropoff`` bookkeeping; the
+            # scheme was already notified and the episode settled).
+            trip = self._log.trips[rid]
+            self._log.record_dropoff(request, now)
+            self._metrics.waiting_times_s.append(trip.waiting_time)
+            self._metrics.detour_times_s.append(trip.detour_time)
+            self._metrics.completed += 1
+            return
+        spec = self._faults.spec
+        cont_id = CONTINUATION_ID_BASE + self._cont_serial
+        self._cont_serial += 1
+        cont = continuation_request(
+            self._scheme.engine, request, cont_id, node, now,
+            spec.continuation_rho, spec.continuation_wait_s,
+        )
+        if cont is None:
+            self._strand(root)
+            return
+        self._continuation_root[cont_id] = root
+        self._metrics.continuations += 1
+        self._obs.count("fault.continuations")
+        self._obs.event("continuation", request=rid, continuation=cont_id, t=now)
+        if self._dispatch_online(cont, now, count_response=False):
+            # ``_install`` counted the continuation as a fresh
+            # ``served_online``; the root request already occupies its
+            # served bucket, so cancel the double count.
+            self._metrics.served_online -= 1
+            self._metrics.reassigned += 1
+        else:
+            self._strand(root)
+
+    def _redispatch_request(self, request: RideRequest, now: float) -> None:
+        """Re-dispatch an assigned-but-not-picked-up request."""
+        root = self._continuation_root.get(request.request_id, request)
+        self._obs.count("fault.redispatches")
+        if self._dispatch_online(request, now, count_response=False):
+            self._metrics.served_online -= 1
+            self._metrics.reassigned += 1
+        else:
+            self._strand(root)
+
+    def _strand(self, root: RideRequest) -> None:
+        """Recovery failed: move the root request served -> stranded."""
+        if root.offline:
+            self._metrics.served_offline -= 1
+            self._metrics.stranded_offline += 1
+        else:
+            self._metrics.served_online -= 1
+            self._metrics.stranded_online += 1
+        self._obs.count("fault.stranded")
+        self._obs.event("stranded", request=root.request_id)
+
+    def _handle_cancel(self, request: RideRequest, now: float) -> None:
+        """A passenger withdraws a request before pick-up.
+
+        No-op when the passengers are already aboard or the request
+        already failed (unserved/stranded); an assigned request is
+        removed from its taxi's schedule and the plan rebuilt for the
+        remaining riders.
+        """
+        rid = request.request_id
+        trip = self._log.trips.get(rid)
+        if trip is not None:
+            if not math.isnan(trip.pickup_time):
+                return  # already aboard (or delivered): too late
+            taxi = self._fleet.get(trip.taxi_id)
+            if taxi is None or rid not in taxi.assigned:
+                return  # stranded after a breakdown; already accounted
+            if not self._scheme.cancel_assigned(taxi, request, now):
+                return
+            self._was_busy[taxi.taxi_id] = not taxi.idle
+            if request.offline:
+                self._metrics.served_offline -= 1
+                self._metrics.cancelled_offline += 1
+            else:
+                self._metrics.served_online -= 1
+                self._metrics.cancelled_online += 1
+        elif request.offline:
+            if rid in self._offline_done:
+                return  # expired before the passenger bothered to cancel
+            self._offline_done.add(rid)
+            self._metrics.cancelled_offline += 1
+        else:
+            return  # online and never matched: already in unserved_online
+        self._obs.count("fault.cancellations")
+        self._obs.event("cancel", request=rid, t=now)
+
+    def _apply_shock(self, k: int, window: ShockWindow, now: float) -> None:
+        """Delay every in-service taxi inside an active shock window.
+
+        Each taxi is delayed at most once per window (tracked in
+        ``_shocked``); taxis without a remaining route are unaffected
+        but stay eligible if they pick up a plan while the window is
+        still open.
+        """
+        xy = self._scheme.network.xy
+        r2 = window.radius_m * window.radius_m
+        shocked = self._shocked
+        for tid, taxi in self._fleet.items():
+            if taxi.out_of_service or (k, tid) in shocked:
+                continue
+            x, y = xy[taxi.loc]
+            dx = float(x) - window.cx
+            dy = float(y) - window.cy
+            if dx * dx + dy * dy > r2:
+                continue
+            if taxi.apply_delay(window.delay_s):
+                shocked.add((k, tid))
+                self._metrics.shock_delays += 1
+                self._scheme.on_taxi_replanned(taxi, now)
+                self._obs.count("fault.shock_delays")
+                self._obs.event("shock", taxi=tid, t=now, window=k)
+
+    # ------------------------------------------------------------------
     # dispatching
     # ------------------------------------------------------------------
     def _install(self, result, request: RideRequest, now: float, offline: bool) -> None:
@@ -367,6 +577,8 @@ class Simulator:
         self._scheme.register_fleet(self._fleet, now=0.0)
         for taxi in self._fleet.values():
             self._was_busy[taxi.taxi_id] = not taxi.idle
+        if self._faults is not None:
+            self._request_by_id = {r.request_id: r for r in self._requests}
 
         last_release = 0.0
         for request in self._requests:
@@ -374,18 +586,27 @@ class Simulator:
             last_release = max(last_release, now)
             self._advance_all(now)
             self._now = now
+            # Faults fire before the boundary's dispatch: a taxi broken
+            # by ``t <= now`` must not win the match for this request.
+            self._apply_faults(now)
             if request.offline:
                 self._register_offline(request)
             else:
                 self._dispatch_online(request, now)
                 contracts.check_request_accounting(self._metrics)
 
-        # Drain: keep moving until every schedule is finished.
+        # Drain: keep moving until every schedule is finished.  The
+        # clock is committed on every step — it used to stay stale at
+        # ``last_release`` for the whole drain, so the monotone-clock
+        # contract compared each step against the wrong previous value
+        # and any event-boundary logic (fault injection) read old time.
         now = last_release
         deadline = last_release + DRAIN_HORIZON_S
         while now < deadline and any(not t.idle for t in self._fleet.values()):
             now += DRAIN_STEP_S
             self._advance_all(now)
+            self._now = now
+            self._apply_faults(now)
         self._now = now
 
         # Final offline accounting: requests no taxi ever resolved are
@@ -402,6 +623,19 @@ class Simulator:
                 self._metrics.expired_offline += 1
             else:
                 self._metrics.unserved_offline += 1
+
+        # Episodes still open were cut off by the drain horizon with
+        # passengers aboard.  Settle them at the cutoff instant so their
+        # fares do not silently vanish from the payment aggregates, and
+        # count them so the cutoff is visible in the metrics.
+        for tid, episode in self._episodes.items():
+            if not episode.active:
+                continue
+            self._settle_episode(self._fleet[tid], episode, self._now)
+            episode.active = False
+            self._metrics.unsettled_episodes += 1
+            self._obs.count("sim.unsettled_episodes")
+            self._obs.event("unsettled_episode", taxi=tid, t=self._now)
 
         obs = self._obs
         obs.gauge("spe.cache_hits", engine.cache_hits - cache_hits0)

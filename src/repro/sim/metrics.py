@@ -37,6 +37,27 @@ class SimulationMetrics:
     #: the simulation ended.
     unserved_offline: int = 0
 
+    # -- fault-injection buckets (repro.faults; docs/ROBUSTNESS.md) ----
+    #: Taxis taken out of service by an injected breakdown.
+    breakdowns: int = 0
+    #: Matched requests withdrawn by the passenger before pick-up.
+    cancelled_online: int = 0
+    cancelled_offline: int = 0
+    #: Requests successfully moved to another taxi after a breakdown
+    #: (assigned re-dispatches and onboard continuations alike).
+    reassigned: int = 0
+    #: Requests whose passengers could not be recovered after a
+    #: breakdown — no taxi accepted the re-dispatch/continuation.
+    stranded_online: int = 0
+    stranded_offline: int = 0
+    #: Continuation requests issued for passengers dropped mid-trip.
+    continuations: int = 0
+    #: Taxis delayed by zonal travel-time shock windows.
+    shock_delays: int = 0
+    #: Ridesharing episodes still open when the drain horizon cut the
+    #: run; they are force-settled at the cutoff so fares are conserved.
+    unsettled_episodes: int = 0
+
     response_times_s: list[float] = field(default_factory=list)
     waiting_times_s: list[float] = field(default_factory=list)
     detour_times_s: list[float] = field(default_factory=list)
@@ -78,6 +99,16 @@ class SimulationMetrics:
         return self.unserved_online + self.unserved_offline
 
     @property
+    def cancelled(self) -> int:
+        """Requests withdrawn by their passenger before pick-up."""
+        return self.cancelled_online + self.cancelled_offline
+
+    @property
+    def stranded(self) -> int:
+        """Requests lost to a breakdown that recovery could not re-place."""
+        return self.stranded_online + self.stranded_offline
+
+    @property
     def lazy_cache_hit_rate(self) -> float:
         """Shortest-path source-tree cache hit rate (1.0 in full mode)."""
         hits = self.counters.get("spe.cache_hits", 0)
@@ -95,22 +126,39 @@ class SimulationMetrics:
 
         Every request must end in exactly one bucket::
 
-            served_online + unserved_online                     == num_online
-            served_offline + expired_offline + unserved_offline == num_offline
+            served_online + unserved_online
+                + cancelled_online + stranded_online   == num_online
+            served_offline + expired_offline + unserved_offline
+                + cancelled_offline + stranded_offline == num_offline
 
-        The simulator calls this at the end of every run so a request
-        silently vanishing (the pre-fix behaviour of expired offline
-        requests) fails loudly instead of skewing the service rate.
+        The fault buckets are zero in fault-free runs, so the identity
+        reduces to the original one.  The simulator calls this at the
+        end of every run so a request silently vanishing (the pre-fix
+        behaviour of expired offline requests) fails loudly instead of
+        skewing the service rate.
         """
-        online = self.served_online + self.unserved_online
-        offline = self.served_offline + self.expired_offline + self.unserved_offline
+        online = (
+            self.served_online
+            + self.unserved_online
+            + self.cancelled_online
+            + self.stranded_online
+        )
+        offline = (
+            self.served_offline
+            + self.expired_offline
+            + self.unserved_offline
+            + self.cancelled_offline
+            + self.stranded_offline
+        )
         if online != self.num_online or offline != self.num_offline:
             raise ValueError(
                 "request accounting out of balance: "
                 f"online {self.served_online}+{self.unserved_online}"
+                f"+{self.cancelled_online}+{self.stranded_online}"
                 f"={online} vs {self.num_online}; "
                 f"offline {self.served_offline}+{self.expired_offline}"
-                f"+{self.unserved_offline}={offline} vs {self.num_offline}"
+                f"+{self.unserved_offline}+{self.cancelled_offline}"
+                f"+{self.stranded_offline}={offline} vs {self.num_offline}"
             )
 
     @property
@@ -164,6 +212,12 @@ class SimulationMetrics:
             "served_offline": self.served_offline,
             "expired_offline": self.expired_offline,
             "unserved": self.unserved,
+            "breakdowns": self.breakdowns,
+            "cancelled": self.cancelled,
+            "reassigned": self.reassigned,
+            "stranded": self.stranded,
+            "shock_delays": self.shock_delays,
+            "unsettled_episodes": self.unsettled_episodes,
             "service_rate": round(self.service_rate, 4),
             "response_ms": round(self.avg_response_ms, 3),
             "waiting_min": round(self.avg_waiting_min, 3),

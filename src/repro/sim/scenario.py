@@ -294,6 +294,32 @@ class Scenario:
             Taxi(taxi_id=i, capacity=capacity, loc=int(locs[i])) for i in range(num_taxis)
         ]
 
+    def fault_plan(
+        self,
+        spec,
+        taxis: list[Taxi],
+        requests: list[RideRequest],
+    ):
+        """A deterministic :class:`~repro.faults.plan.FaultPlan` for one run.
+
+        ``spec`` is a :class:`~repro.faults.plan.FaultSpec`, a spec
+        string in the ``--faults`` grammar (``seed=3,breakdown_rate=...``,
+        see docs/ROBUSTNESS.md) or ``None``.  Returns ``None`` when the
+        spec injects nothing, so callers can pass the result straight to
+        :class:`~repro.sim.engine.Simulator`.
+        """
+        from ..faults.plan import FaultSpec, build_fault_plan, parse_fault_spec
+
+        if spec is None:
+            return None
+        if isinstance(spec, str):
+            spec = parse_fault_spec(spec)
+        if not isinstance(spec, FaultSpec):
+            raise TypeError(f"expected FaultSpec, spec string or None, got {type(spec)!r}")
+        if not spec.enabled:
+            return None
+        return build_fault_plan(spec, taxis, requests, self.network)
+
     def _partition_spec(self, method: str, kappa: int, k_t: int) -> dict:
         """Artifact-store key spec for a partitioning build."""
         pspec = {

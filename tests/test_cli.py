@@ -61,3 +61,53 @@ class TestExperiment:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestFaultsFlag:
+    def test_simulate_with_faults(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--scheme", "mt-share",
+                "--taxis", "10",
+                "--requests", "120",
+                "--grid", "10",
+                "--partitions", "9",
+                "--seed", "3",
+                "--faults", "seed=7,breakdown_rate=0.3,cancel_rate=0.2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault events" in out
+        assert "breakdowns" in out  # fault buckets reach the summary
+
+    def test_simulate_rejects_bad_faults_spec(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--scheme", "no-sharing",
+                "--taxis", "5",
+                "--requests", "50",
+                "--grid", "8",
+                "--partitions", "4",
+                "--faults", "breakdown_rate=not-a-number",
+            ]
+        )
+        assert code == 2
+        assert "bad --faults spec" in capsys.readouterr().err
+
+    def test_simulate_rejects_unknown_faults_key(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--scheme", "no-sharing",
+                "--taxis", "5",
+                "--requests", "50",
+                "--grid", "8",
+                "--partitions", "4",
+                "--faults", "meteor_rate=0.5",
+            ]
+        )
+        assert code == 2
+        assert "meteor_rate" in capsys.readouterr().err

@@ -313,3 +313,99 @@ class TestDeterminism:
             }
 
         assert run_once() == run_once()
+
+
+class TestDrainClock:
+    """Regression: ``Simulator.run`` must commit ``self._now`` on every
+    drain step.
+
+    The clock used to stay stale at ``last_release`` for the whole
+    drain loop, so ``contracts.check_monotone_clock`` compared each
+    step against the wrong previous value and event-boundary logic
+    (fault injection) read old time."""
+
+    def test_clock_tracks_drain_steps(self, small_net, small_engine):
+        from repro.baselines.nosharing import NoSharing
+        from repro.config import SystemConfig
+        from repro.sim.engine import DRAIN_STEP_S
+        from tests.conftest import make_request
+
+        class ClockRecorder(Simulator):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.boundaries = []
+
+            def _advance_all(self, now):
+                self.boundaries.append((self._now, now))
+                super()._advance_all(now)
+
+        width = small_net.xy[:, 0].max() - small_net.xy[:, 0].min()
+        config = SystemConfig(search_range_m=float(width) * 2.0,
+                              speed_mps=small_net.speed_mps)
+        scheme = NoSharing(small_net, small_engine, config)
+        # One long trip released at t=0: the whole run is drain steps.
+        request = make_request(
+            request_id=0, release_time=0.0, origin=0, destination=99,
+            direct_cost=small_engine.cost(0, 99), rho=3.0,
+        )
+        taxi = Taxi(taxi_id=0, capacity=3, loc=0)
+        sim = ClockRecorder(scheme, [taxi], [request])
+        sim.run()
+
+        drain = [(prev, now) for prev, now in sim.boundaries if now > 0.0]
+        assert len(drain) >= 2  # the trip spans several drain steps
+        for prev, now in drain:
+            # The committed clock is the *previous* boundary, one step
+            # behind — not frozen at the last release (0.0).
+            assert prev == pytest.approx(now - DRAIN_STEP_S)
+
+
+class TestDrainHorizonCutoff:
+    """Regression: episodes cut off by the drain horizon must be settled.
+
+    Passengers still aboard at the deadline never reached occupancy 0,
+    so their episode was never settled and its fares silently vanished
+    from ``regular_fares``/``shared_fares``.  The engine now
+    force-settles open episodes at the cutoff instant and counts them
+    in ``unsettled_episodes``."""
+
+    @pytest.fixture()
+    def cutoff_run(self, small_net, small_engine, monkeypatch):
+        from repro.baselines.nosharing import NoSharing
+        from repro.config import SystemConfig
+        from tests.conftest import make_request
+
+        # Cut the run two drain steps after the last release, long
+        # before the ~11-minute cross-town trip can finish.
+        monkeypatch.setattr("repro.sim.engine.DRAIN_HORIZON_S", 120.0)
+        width = small_net.xy[:, 0].max() - small_net.xy[:, 0].min()
+        config = SystemConfig(search_range_m=float(width) * 2.0,
+                              speed_mps=small_net.speed_mps)
+        scheme = NoSharing(small_net, small_engine, config)
+        request = make_request(
+            request_id=0, release_time=0.0, origin=0, destination=99,
+            direct_cost=small_engine.cost(0, 99), rho=3.0,
+        )
+        taxi = Taxi(taxi_id=0, capacity=3, loc=0)
+        sim = Simulator(scheme, [taxi], [request], payment=PaymentModel())
+        return sim, sim.run()
+
+    def test_passenger_still_aboard_at_deadline(self, cutoff_run):
+        sim, m = cutoff_run
+        trip = sim.log.trips[0]
+        assert not trip.completed  # picked up, never dropped off
+        assert sim.fleet[0].occupancy == 1
+
+    def test_open_episode_settled_and_counted(self, cutoff_run):
+        _sim, m = cutoff_run
+        assert m.unsettled_episodes == 1
+        # The interrupted episode's fares land in the aggregates
+        # instead of vanishing.
+        assert m.regular_fares > 0.0
+        assert m.shared_fares > 0.0
+        assert m.counters.get("sim.unsettled_episodes") == 1
+
+    def test_balance_still_closes(self, cutoff_run):
+        _sim, m = cutoff_run
+        m.check_balance()  # raises if any bucket leaked
+        assert m.served_online == 1

@@ -175,3 +175,54 @@ class TestFleetLog:
         r = make_request()
         log.record_assignment(r, 0, 0.0)
         assert log.completed() == []
+
+
+class TestPlanTeardownGate:
+    """Regression: ``advance`` must tear down every completed plan.
+
+    The old gate required ``_stops_fired`` to be truthy *and* the route
+    cursor to have consumed every vertex, so two legitimate plan shapes
+    never reset: a zero-stop plan installed via ``set_plan`` (a cruise)
+    kept its stale route/cursor forever, and a fully-fired schedule
+    whose route carried trailing vertices reported non-idle with an
+    empty ``pending_stops()`` — spinning the simulator's drain loop
+    until the horizon cut the run."""
+
+    def test_consumed_cruise_plan_resets(self):
+        taxi = Taxi(taxi_id=0, capacity=3, loc=0)
+        taxi.set_plan([], straight_route([0, 1, 2], 0.0, 10.0))
+        taxi.advance(1e9)
+        assert taxi.loc == 2
+        # Zero stops ever fired, yet the finished plan must be cleared.
+        assert taxi.route.empty
+        assert taxi.idle
+        assert taxi.position_at(100.0) == (2, 100.0)
+
+    def test_trailing_route_tail_demoted_to_cruise(self, tiny_net, tiny_engine):
+        taxi = Taxi(taxi_id=0, capacity=3, loc=0)
+        r = make_request(origin=1, destination=2, direct_cost=tiny_engine.cost(1, 2), rho=2.0)
+        stops = [pickup(r), dropoff(r)]
+        route = build_route(0, 0.0, stops, tiny_engine.path, tiny_net.path_cost_s)
+        # Extend the route past the last stop (e.g. a repositioning leg).
+        tail_path = tiny_engine.path(2, 8)
+        nodes = list(route.nodes)
+        times = list(route.times)
+        for u, v in zip(tail_path, tail_path[1:]):
+            times.append(times[-1] + tiny_net.path_cost_s([u, v]))
+            nodes.append(v)
+        taxi.assign(r)
+        taxi.set_plan(stops, TaxiRoute(nodes=nodes, times=times,
+                                       stop_positions=list(route.stop_positions)))
+
+        # Advance just past the final drop-off: everyone is served.
+        taxi.advance(route.end_time + 1e-6)
+        assert taxi.occupancy == 0
+        assert taxi.pending_stops() == []
+        # The taxi must report idle despite the remaining tail...
+        assert taxi.idle
+        # ... and the tail becomes a passenger-less cruise it still drives.
+        assert not taxi.route.empty
+        assert taxi.remaining_route_cost(route.end_time) == 0.0
+        taxi.advance(1e9)
+        assert taxi.loc == 8
+        assert taxi.route.empty  # fully consumed -> cleared
