@@ -1,0 +1,286 @@
+"""Streaming-service throughput benchmark (BENCH_PR6.json).
+
+Three sections, every one a hard gate:
+
+1. **equivalence** — a micro workload replayed through the service
+   façade (eager pumping AND shuffled delivery with deferred pumping)
+   must produce a decision fingerprint bit-identical to batch
+   ``Simulator.run()``.  The kernel refactor is a pure mechanics
+   change; any drift here fails the benchmark.
+2. **soak** — ``--soak N`` (default 1,000,000) synthetic requests
+   streamed through the service in compact mode.  Resident memory is
+   sampled from ``/proc/self/status`` every ``--rss-every`` requests;
+   growth beyond ``--rss-budget-mb`` over the post-warmup baseline
+   fails the run (the bounded-RSS claim of docs/ARCHITECTURE.md).
+3. **SLO** — sustained requests/sec over the soak, with the p95 of
+   per-decision dispatch latency held to ``--slo-ms``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/pr6_throughput.py --out BENCH_PR6.json
+    PYTHONPATH=src python benchmarks/pr6_throughput.py --soak 50000 --out /tmp/b.json
+
+Exits nonzero on any violated gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import math
+import os
+import random
+import sys
+import time
+from array import array
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+os.environ.setdefault("REPRO_ARTIFACT_DIR", "off")
+
+
+def _rss_mb() -> float:
+    """Resident set size in MB from /proc (Linux)."""
+    with open("/proc/self/status", encoding="ascii") as handle:
+        for line in handle:
+            if line.startswith("VmRSS:"):
+                return float(line.split()[1]) / 1024.0
+    raise RuntimeError("VmRSS not found in /proc/self/status")
+
+
+def _fingerprint(sim, metrics) -> str:
+    payload = {
+        "trips": {
+            str(rid): (t.taxi_id, t.assign_time, t.pickup_time, t.dropoff_time)
+            for rid, t in sorted(sim.log.trips.items())
+        },
+        "served_online": metrics.served_online,
+        "served_offline": metrics.served_offline,
+        "completed": metrics.completed,
+        "expired_offline": metrics.expired_offline,
+        "unserved_online": metrics.unserved_online,
+        "unserved_offline": metrics.unserved_offline,
+        "waiting": metrics.waiting_times_s,
+        "detour": metrics.detour_times_s,
+        "candidates": metrics.candidate_counts,
+        "shared_fares": metrics.shared_fares,
+        "driver_incomes": metrics.driver_incomes,
+        "insertions": metrics.counters.get("match.insertions_evaluated"),
+    }
+    return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# section 1: batch-vs-stream equivalence
+# ----------------------------------------------------------------------
+def run_equivalence() -> dict:
+    from repro.core.payment import PaymentModel
+    from repro.service import DispatchService
+    from repro.sim.engine import Simulator
+    from repro.sim.scenario import ScenarioSpec, get_scenario
+
+    spec = ScenarioSpec(
+        kind="peak", grid_rows=8, grid_cols=8, spacing_m=180.0,
+        hourly_requests=120, history_days=2, num_partitions=9,
+        offline_count=10, seed=3,
+    )
+    scenario = get_scenario(spec)
+    workload = scenario.requests()
+
+    def make_sim():
+        return Simulator(
+            scenario.make_scheme("mt-share"),
+            scenario.make_fleet(15, seed=1),
+            [],
+            payment=PaymentModel(),
+        )
+
+    batch_sim = Simulator(
+        scenario.make_scheme("mt-share"), scenario.make_fleet(15, seed=1),
+        workload, payment=PaymentModel(),
+    )
+    fp_batch = _fingerprint(batch_sim, batch_sim.run())
+
+    eager = DispatchService(make_sim())
+    fp_eager = _fingerprint(eager.sim, eager.replay(iter(workload), pump_every=1))
+
+    shuffled = list(workload)
+    random.Random(11).shuffle(shuffled)
+    lazy = DispatchService(make_sim())
+    fp_shuffled = _fingerprint(lazy.sim, lazy.replay(iter(shuffled), pump_every=None))
+
+    section = {
+        "requests": len(workload),
+        "batch_sha256": fp_batch,
+        "stream_eager_sha256": fp_eager,
+        "stream_shuffled_sha256": fp_shuffled,
+        "identical": fp_batch == fp_eager == fp_shuffled,
+    }
+    if not section["identical"]:
+        raise SystemExit(f"FAIL: batch/stream fingerprints diverge: {section}")
+    return section
+
+
+# ----------------------------------------------------------------------
+# sections 2+3: soak with RSS bound and latency SLO
+# ----------------------------------------------------------------------
+def run_soak(
+    count: int,
+    slo_ms: float,
+    rss_budget_mb: float,
+    rss_every: int,
+    taxis: int,
+    rate_per_s: float,
+) -> dict:
+    from repro.service import AdmissionPolicy, DispatchService, ServiceConfig
+    from repro.service.sources import synthetic_requests
+    from repro.sim.engine import Simulator
+    from repro.sim.scenario import ScenarioSpec, get_scenario
+
+    spec = ScenarioSpec(
+        kind="peak", grid_rows=10, grid_cols=10, spacing_m=120.0,
+        hourly_requests=100, history_days=1, num_partitions=4, seed=3,
+    )
+    scenario = get_scenario(spec)
+    scheme = scenario.make_scheme("no-sharing")
+    sim = Simulator(scheme, scenario.make_fleet(taxis, seed=1), [], compact=True)
+
+    latencies_ms = array("d")
+
+    def sink(decision) -> None:
+        if decision.status != "rejected":
+            latencies_ms.append(decision.elapsed_ms)
+
+    service = DispatchService(
+        sim,
+        # The synthetic stream is unique and sorted by construction, so
+        # the duplicate-tracking set (which would grow with the stream)
+        # stays off; admission still bounds the in-flight queue.
+        ServiceConfig(admission=AdmissionPolicy(dedupe=False), keep_decisions=False),
+        on_decision=sink,
+    )
+    service.start()
+
+    rss_samples: list[float] = []
+    warmup = min(rss_every, count // 10 or 1)
+    rss_baseline = None
+    submitted = 0
+    wall0 = time.perf_counter()
+    for request in synthetic_requests(scheme.engine, count, rate_per_s=rate_per_s, seed=1):
+        service.submit(request)
+        service.pump()
+        submitted += 1
+        if submitted == warmup:
+            rss_baseline = _rss_mb()
+        if submitted % rss_every == 0:
+            rss_samples.append(_rss_mb())
+    metrics = service.finish()
+    wall_s = time.perf_counter() - wall0
+
+    rss_end = _rss_mb()
+    rss_samples.append(rss_end)
+    if rss_baseline is None:
+        rss_baseline = rss_samples[0]
+    rss_peak = max(rss_samples)
+    rss_growth = rss_peak - rss_baseline
+
+    lat_sorted = sorted(latencies_ms)
+    def pct(p: float) -> float:
+        if not lat_sorted:
+            return 0.0
+        return lat_sorted[min(len(lat_sorted) - 1, math.ceil(p * len(lat_sorted)) - 1)]
+
+    section = {
+        "requests": submitted,
+        "taxis": taxis,
+        "rate_per_s": rate_per_s,
+        "wall_s": round(wall_s, 3),
+        "requests_per_s": round(submitted / wall_s, 1),
+        "served": metrics.served,
+        "service_rate": round(metrics.service_rate, 4),
+        "decision_latency_ms": {
+            "p50": round(pct(0.50), 4),
+            "p95": round(pct(0.95), 4),
+            "p99": round(pct(0.99), 4),
+            "max": round(lat_sorted[-1], 4) if lat_sorted else 0.0,
+            "samples": len(lat_sorted),
+        },
+        "slo_ms": slo_ms,
+        "slo_met": pct(0.95) <= slo_ms,
+        "rss_mb": {
+            "baseline": round(rss_baseline, 1),
+            "peak": round(rss_peak, 1),
+            "end": round(rss_end, 1),
+            "growth": round(rss_growth, 1),
+            "budget": rss_budget_mb,
+        },
+        "rss_bounded": rss_growth <= rss_budget_mb,
+        "sample_cap": metrics.sample_cap,
+        "retained_waiting_samples": len(metrics.waiting_times_s),
+        "kernel_events": metrics.counters.get("kernel.events_processed"),
+    }
+    metrics.check_balance()
+    failures = []
+    if not section["slo_met"]:
+        failures.append(
+            f"p95 latency {section['decision_latency_ms']['p95']}ms > SLO {slo_ms}ms"
+        )
+    if not section["rss_bounded"]:
+        failures.append(f"RSS grew {rss_growth:.1f}MB > budget {rss_budget_mb}MB")
+    if failures:
+        raise SystemExit("FAIL: " + "; ".join(failures))
+    return section
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    parser.add_argument("--soak", type=int, default=1_000_000,
+                        help="synthetic requests to stream (default 1M)")
+    parser.add_argument("--slo-ms", type=float, default=50.0,
+                        help="p95 decision-latency SLO in milliseconds")
+    parser.add_argument("--rss-budget-mb", type=float, default=256.0,
+                        help="allowed RSS growth over the warmed-up baseline")
+    parser.add_argument("--rss-every", type=int, default=50_000,
+                        help="sample RSS every N requests")
+    parser.add_argument("--taxis", type=int, default=200)
+    parser.add_argument("--rate", type=float, default=2.0,
+                        help="synthetic arrival rate (requests per sim-second)")
+    args = parser.parse_args()
+
+    print(f"[1/2] batch-vs-stream equivalence ...", flush=True)
+    equivalence = run_equivalence()
+    print(f"      identical fingerprints: {equivalence['batch_sha256'][:16]}...")
+
+    print(f"[2/2] soak: {args.soak:,} requests ...", flush=True)
+    soak = run_soak(
+        args.soak, args.slo_ms, args.rss_budget_mb, args.rss_every,
+        args.taxis, args.rate,
+    )
+    print(
+        f"      {soak['requests_per_s']:,.0f} req/s, "
+        f"p95 {soak['decision_latency_ms']['p95']}ms (SLO {args.slo_ms}ms), "
+        f"RSS growth {soak['rss_mb']['growth']}MB "
+        f"(budget {args.rss_budget_mb}MB)"
+    )
+
+    report = {
+        "benchmark": "pr6_streaming_service_throughput",
+        "contracts": os.environ.get("REPRO_CONTRACTS", ""),
+        "equivalence": equivalence,
+        "soak": soak,
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

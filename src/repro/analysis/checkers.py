@@ -283,7 +283,14 @@ class UnorderedSetIteration(Checker):
         "hash-layout-dependent order; wrap in sorted() so cold and "
         "store-warmed builds take identical paths (the PR 3 bug class)."
     )
-    include = ("/repro/core/", "/repro/network/", "/repro/partitioning/", "/repro/index/")
+    include = (
+        "/repro/core/",
+        "/repro/network/",
+        "/repro/partitioning/",
+        "/repro/index/",
+        "/repro/sim/",
+        "/repro/service/",
+    )
 
     def check(self, ctx: ModuleContext) -> list[Finding]:
         types = SetTypes(ctx)
@@ -449,7 +456,7 @@ class FloatEquality(Checker):
         "is precision-fragile; compare with a tolerance (exact-zero sentinel "
         "tests are exempt)."
     )
-    include = ("/repro/core/", "/repro/fleet/")
+    include = ("/repro/core/", "/repro/fleet/", "/repro/sim/", "/repro/service/")
 
     @staticmethod
     def _nonzero_float_literal(node: ast.AST) -> bool:

@@ -157,6 +157,7 @@ def check_request_accounting(metrics: "SimulationMetrics") -> None:
         + metrics.unserved_online
         + metrics.cancelled_online
         + metrics.stranded_online
+        + metrics.rejected_online
     )
     offline = (
         metrics.served_offline
@@ -164,6 +165,7 @@ def check_request_accounting(metrics: "SimulationMetrics") -> None:
         + metrics.unserved_offline
         + metrics.cancelled_offline
         + metrics.stranded_offline
+        + metrics.rejected_offline
     )
     if online > metrics.num_online or offline > metrics.num_offline:
         raise ContractViolation(

@@ -16,6 +16,11 @@ Exposed as ``python -m repro``.  Four subcommands:
 ``lint``
     Run the project's determinism/invariant static analysis
     (see :mod:`repro.analysis` and ``docs/STATIC_ANALYSIS.md``).
+``replay``
+    Stream a JSONL request trace through the dispatch service façade
+    and print the final metrics (see :mod:`repro.service`).
+``serve``
+    Expose one simulator run as an HTTP dispatch endpoint.
 """
 
 from __future__ import annotations
@@ -85,6 +90,42 @@ def _build_parser() -> argparse.ArgumentParser:
     # forwards its argv to the repro.analysis engine before parsing.
     sub.add_parser("lint", help="run the determinism/invariant lint",
                    add_help=False)
+
+    def _service_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scheme", choices=SCHEME_NAMES, default="mt-share")
+        p.add_argument("--kind", choices=("peak", "nonpeak"), default="peak")
+        p.add_argument("--taxis", type=int, default=100)
+        p.add_argument("--capacity", type=int, default=3)
+        p.add_argument("--rho", type=float, default=1.3)
+        p.add_argument("--grid", type=int, default=16)
+        p.add_argument("--requests", type=int, default=200,
+                       help="scenario shaping only (demand history for the "
+                            "predictive indexes); the workload itself "
+                            "arrives through the service")
+        p.add_argument("--partitions", type=int, default=25)
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--max-in-flight", type=int, default=4096,
+                       help="admission backpressure bound on queued requests")
+        p.add_argument("--late-policy", choices=("reject", "clamp"), default="reject",
+                       help="requests released behind the committed clock")
+        p.add_argument("--compact", action="store_true",
+                       help="bounded-memory mode for soak-length streams")
+
+    rep = sub.add_parser("replay", help="stream a JSONL request trace "
+                                        "through the dispatch service")
+    rep.add_argument("trace", metavar="TRACE.jsonl",
+                     help="request trace, one JSON object per line")
+    _service_args(rep)
+    rep.add_argument("--pump-every", type=int, default=1, metavar="K",
+                     help="dispatch queued events after every K admitted "
+                          "requests (0 defers everything to the drain)")
+    rep.add_argument("--decisions", metavar="PATH", default=None,
+                     help="append the decision stream to PATH as JSONL")
+
+    srv = sub.add_parser("serve", help="expose a simulator run over HTTP")
+    _service_args(srv)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8350)
     return parser
 
 
@@ -182,6 +223,88 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_service(args: argparse.Namespace) -> "DispatchService":
+    """Build a DispatchService from the shared service CLI flags."""
+    from .service import AdmissionPolicy, DispatchService, ServiceConfig
+
+    spec = ScenarioSpec(
+        kind=args.kind,
+        grid_rows=args.grid,
+        grid_cols=args.grid,
+        hourly_requests=args.requests,
+        history_days=3,
+        num_partitions=args.partitions,
+        seed=args.seed,
+    )
+    scenario = get_scenario(spec)
+    config = scenario.default_config(rho=args.rho, capacity=args.capacity)
+    scheme = scenario.make_scheme(args.scheme, config=config)
+    fleet = scenario.make_fleet(args.taxis, capacity=args.capacity)
+    sim = Simulator(
+        scheme, fleet, [], payment=PaymentModel(), compact=args.compact
+    )
+    policy = AdmissionPolicy(
+        max_in_flight=args.max_in_flight, late_policy=args.late_policy
+    )
+    return DispatchService(sim, ServiceConfig(admission=policy))
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import decision_to_dict, jsonl_requests
+
+    service = _make_service(args)
+    sink_file = open(args.decisions, "a", encoding="utf-8") if args.decisions else None
+    if sink_file is not None:
+        service.set_sink(
+            lambda d: sink_file.write(_json.dumps(decision_to_dict(d)) + "\n")
+        )
+    else:
+        service.set_sink(lambda d: None)  # replay prints totals, not a stream
+    pump_every = args.pump_every if args.pump_every > 0 else None
+    try:
+        metrics = service.replay(jsonl_requests(args.trace), pump_every=pump_every)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if sink_file is not None:
+            sink_file.close()
+    print(
+        f"Replayed {service.submitted} requests "
+        f"({service.admitted} admitted, {service.submitted - service.admitted} rejected)"
+    )
+    for reason, count in sorted(service.rejections.items()):
+        print(f"  rejected[{reason}]: {count}")
+    for key, value in metrics.summary().items():
+        print(f"  {key:18s} {value}")
+    if args.decisions:
+        print(f"\nJSONL decision stream written to {args.decisions}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.http import make_server
+
+    service = _make_service(args)
+    try:
+        server, _state = make_server(service, host=args.host, port=args.port)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    print(f"dispatch service on http://{host}:{port}  "
+          "(POST /requests, GET /metrics, POST /finish; Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
 def _cmd_list() -> int:
     print("schemes     :", ", ".join(SCHEME_NAMES))
     print("experiments :", ", ".join(sorted(ALL_EXPERIMENTS)))
@@ -206,6 +329,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_list()
 
 

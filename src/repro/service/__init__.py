@@ -1,0 +1,48 @@
+"""Streaming dispatch service façade over the simulation kernel.
+
+The batch :class:`~repro.sim.engine.Simulator` answers "what would the
+whole day have looked like"; this package answers "what does the
+dispatcher do with the request that just arrived".  Both are clients of
+the same discrete-event kernel and produce bit-identical decisions for
+the same admitted workload — the façade adds only what a long-lived
+service needs on top:
+
+* **request sources** — a synthetic generator, a JSONL replay file, or
+  an HTTP endpoint (:mod:`repro.service.http`);
+* **admission control** — duplicate delivery, arrivals behind the
+  committed clock (reject or clamp), and backpressure on a bounded
+  in-flight queue, each rejection landing in its own terminal
+  accounting bucket so :meth:`SimulationMetrics.check_balance` still
+  closes;
+* a **decision stream** — one record per dispatch outcome or rejection,
+  consumable as a callback or JSONL.
+
+See docs/ARCHITECTURE.md for where the façade sits in the stack.
+"""
+
+from .admission import (
+    REJECT_BACKPRESSURE,
+    REJECT_DUPLICATE,
+    REJECT_LATE,
+    Admission,
+    AdmissionPolicy,
+)
+from .codec import decision_to_dict, request_from_dict, request_to_dict
+from .service import DecisionRecord, DispatchService, ServiceConfig
+from .sources import jsonl_requests, synthetic_requests
+
+__all__ = [
+    "REJECT_BACKPRESSURE",
+    "REJECT_DUPLICATE",
+    "REJECT_LATE",
+    "Admission",
+    "AdmissionPolicy",
+    "DecisionRecord",
+    "DispatchService",
+    "ServiceConfig",
+    "decision_to_dict",
+    "jsonl_requests",
+    "request_from_dict",
+    "request_to_dict",
+    "synthetic_requests",
+]

@@ -1,0 +1,117 @@
+"""Admission control for the streaming dispatch service.
+
+The kernel refuses events behind its committed clock
+(:class:`~repro.sim.kernel.ScheduledInPast`) — deciding what to *do*
+with such input is service policy, not kernel mechanics.  This module
+is that policy: every submission is screened for duplicate delivery,
+lateness and backpressure before it may become a ``request.release``
+event, and every refusal carries a machine-readable reason that the
+metrics account under its own terminal bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..demand.request import RequestError, RideRequest
+
+#: The request id was already admitted (at-least-once delivery upstream).
+REJECT_DUPLICATE = "duplicate"
+
+#: The release time is behind the committed clock and the policy is
+#: ``"reject"`` (or clamping it forward made the deadline infeasible).
+REJECT_LATE = "late"
+
+#: The bounded in-flight queue is full.
+REJECT_BACKPRESSURE = "backpressure"
+
+_LATE_POLICIES = ("reject", "clamp")
+
+
+@dataclass(frozen=True, slots=True)
+class Admission:
+    """Outcome of screening one submission.
+
+    ``request`` is the request to enqueue when admitted — the original,
+    or a copy clamped forward to the committed clock under the
+    ``"clamp"`` late policy (``clamped`` is then set).
+    """
+
+    accepted: bool
+    reason: str | None = None
+    clamped: bool = False
+    request: RideRequest | None = None
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Screening rules applied to every submission, in a fixed order.
+
+    Parameters
+    ----------
+    max_in_flight:
+        Upper bound on admitted-but-undispatched events; submissions
+        beyond it are rejected with :data:`REJECT_BACKPRESSURE` (the
+        caller is expected to pump the kernel and retry).
+    late_policy:
+        ``"reject"`` refuses requests released behind the committed
+        clock; ``"clamp"`` re-releases them *at* the clock, preserving
+        the original deadline (so a clamp can still fail as late when
+        the remaining window no longer fits the direct trip).
+    dedupe:
+        Track admitted request ids and refuse re-deliveries.  Costs one
+        set entry per admitted request; a soak harness replaying a
+        stream it knows to be unique can turn it off.
+    """
+
+    max_in_flight: int = 4096
+    late_policy: str = "reject"
+    dedupe: bool = True
+
+    def __post_init__(self) -> None:
+        if self.late_policy not in _LATE_POLICIES:
+            raise ValueError(
+                f"late_policy must be one of {_LATE_POLICIES}, got {self.late_policy!r}"
+            )
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be positive")
+
+    def screen(
+        self,
+        request: RideRequest,
+        now: float,
+        pending: int,
+        seen: set[int] | None,
+    ) -> Admission:
+        """Screen one submission against the committed clock ``now`` and
+        the current in-flight count ``pending``.
+
+        ``seen`` is the caller-owned set of admitted ids (``None`` when
+        ``dedupe`` is off); this method only reads it — the caller adds
+        the id *after* enqueueing, so a rejected submission may be
+        retried.
+        """
+        if seen is not None and request.request_id in seen:
+            return Admission(False, reason=REJECT_DUPLICATE)
+        if pending >= self.max_in_flight:
+            return Admission(False, reason=REJECT_BACKPRESSURE)
+        if request.release_time < now:
+            if self.late_policy == "reject":
+                return Admission(False, reason=REJECT_LATE)
+            try:
+                clamped = replace(request, release_time=now)
+            except RequestError:
+                # Clamping forward left less than the direct travel time
+                # before the deadline: the trip can no longer happen.
+                return Admission(False, reason=REJECT_LATE)
+            return Admission(True, clamped=True, request=clamped)
+        return Admission(True, request=request)
+
+
+__all__ = [
+    "REJECT_BACKPRESSURE",
+    "REJECT_DUPLICATE",
+    "REJECT_LATE",
+    "Admission",
+    "AdmissionPolicy",
+]

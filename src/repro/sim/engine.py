@@ -1,12 +1,25 @@
 """Event-driven ridesharing simulator.
 
-The simulator owns the clock, the fleet and the workload; the dispatch
-scheme owns its indexes and matching logic.  Time advances to each
-online request's release instant; between instants every taxi is moved
-along its planned route at the constant network speed, firing pick-ups
-and drop-offs and scanning traversed vertices for *offline* requests
-waiting at the roadside.  After the last release the clock keeps
-ticking in fixed steps until all schedules drain.
+The simulator is one client of the discrete-event kernel
+(:mod:`repro.sim.kernel`): the kernel owns the event queue and the
+committed clock, the simulator owns the fleet and the workload, and the
+dispatch scheme owns its indexes and matching logic.  Request releases
+and post-release drain ticks are kernel events; each event boundary
+advances every taxi along its planned route at the constant network
+speed, firing pick-ups and drop-offs, scanning traversed vertices for
+*offline* requests waiting at the roadside, and replaying any due
+injected faults.  After the last release the drain ticks keep the clock
+moving in fixed steps — the last step clamped to the drain horizon —
+until all schedules finish.
+
+Ingest is heap-ordered, so the workload no longer has to arrive sorted:
+an out-of-order release is sequenced by the kernel instead of dragging
+the committed clock backwards.  The streaming façade
+(:mod:`repro.service`) feeds the same kernel incrementally through
+:meth:`Simulator.stream_begin` / :meth:`Simulator.stream_submit` /
+:meth:`Simulator.stream_finish`; batch :meth:`Simulator.run` is the
+schedule-everything special case, and both produce bit-identical
+decisions for the same workload.  See docs/ARCHITECTURE.md.
 
 Offline requests live in a per-vertex pool.  When a taxi passes a
 vertex hosting a released, not-yet-expired offline request, the scheme
@@ -21,6 +34,7 @@ from __future__ import annotations
 import math
 import time
 from collections import defaultdict
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..analysis import contracts
@@ -33,6 +47,7 @@ from ..fleet.taxi import FleetLog, Taxi
 from ..index.spatial import StaticVertexGrid
 from ..network.shortest_path import subgraph_cache_stats
 from ..obs import Instrumentation, JsonlTraceWriter
+from .kernel import DRAIN_TICK, REQUEST_RELEASE, Event, Kernel
 from .metrics import SimulationMetrics
 
 #: Clock step while draining schedules after the last online release.
@@ -44,6 +59,15 @@ DRAIN_HORIZON_S = 3 * 3600.0
 #: A street-hailing passenger flags down any taxi passing within this
 #: distance of where they stand (roughly one city block).
 DEFAULT_ENCOUNTER_RADIUS_M = 250.0
+
+#: Raw-sample list bound in compact (bounded-RSS streaming) mode.
+COMPACT_SAMPLE_CAP = 4096
+
+#: Streaming decision callback: ``(request, now, matched, taxi_id,
+#: elapsed_s, kind)`` with ``kind`` one of ``"online"`` (a first-look
+#: dispatch), ``"redispatch"`` (encounter hand-off or fault recovery)
+#: or ``"offline"`` (a street hail installed on a passing taxi).
+DecisionHook = Callable[[RideRequest, float, bool, int | None, float, str], None]
 
 
 @dataclass
@@ -88,6 +112,13 @@ class Simulator:
         replay at event boundaries (breakdowns, cancellations, shock
         windows); ``None`` or an empty plan leaves the simulation path
         bit-identical to a fault-free run.  See docs/ROBUSTNESS.md.
+    compact:
+        Bounded-memory mode for soak-length streaming runs: completed
+        trips are evicted from the fleet log once their samples are
+        folded into the metrics, and the metric sample lists are capped
+        at :data:`COMPACT_SAMPLE_CAP` (running aggregates keep exact
+        counts/means).  Off by default — determinism fingerprints rely
+        on the full sample lists.
     """
 
     def __init__(
@@ -101,6 +132,7 @@ class Simulator:
         obs: Instrumentation | None = None,
         trace_path: str | None = None,
         faults: FaultPlan | None = None,
+        compact: bool = False,
     ) -> None:
         self._scheme = scheme
         if obs is None:
@@ -140,6 +172,29 @@ class Simulator:
         self._cont_serial = 0
         self._request_by_id: dict[int, RideRequest] = {}
 
+        # Discrete-event kernel: request releases and drain ticks are
+        # heap-ordered events, so out-of-order ingestion (the streaming
+        # façade, an unsorted batch) can never move the clock backwards.
+        self._kernel = Kernel(start_time=0.0)
+        self._kernel.subscribe(REQUEST_RELEASE, self._on_request_release)
+        self._kernel.subscribe(DRAIN_TICK, self._on_drain_tick)
+        # Offline requests awaiting resolution, keyed by id — the
+        # end-of-run sweep walks this instead of the full request list,
+        # so streaming runs never need to retain the workload.
+        self._pending_offline: dict[int, RideRequest] = {}
+        self._last_release = 0.0
+        self._streaming = False
+        self._wall_start = 0.0
+        self._cache_base: tuple[int, int, dict[str, int]] | None = None
+        self._compact = bool(compact)
+        if self._compact:
+            self._metrics.sample_cap = COMPACT_SAMPLE_CAP
+        #: Optional decision-stream hook fired once per dispatch outcome
+        #: ``(request, now, matched, taxi_id, elapsed_s, kind)`` with
+        #: ``kind`` in ``{"online", "redispatch", "offline"}``; the
+        #: streaming façade uses it to emit its decision records.
+        self.on_decision: DecisionHook | None = None
+
     # ------------------------------------------------------------------
     @property
     def metrics(self) -> SimulationMetrics:
@@ -161,6 +216,11 @@ class Simulator:
         """The observability registry driving this run."""
         return self._obs
 
+    @property
+    def kernel(self) -> Kernel:
+        """The discrete-event kernel ordering this run's events."""
+        return self._kernel
+
     # ------------------------------------------------------------------
     # callbacks wired into taxi movement
     # ------------------------------------------------------------------
@@ -180,8 +240,8 @@ class Simulator:
         self._log.record_dropoff(request, t)
         self._scheme.on_request_finished(request)
         trip = self._log.trips[request.request_id]
-        self._metrics.waiting_times_s.append(trip.waiting_time)
-        self._metrics.detour_times_s.append(trip.detour_time)
+        self._metrics.add_waiting(trip.waiting_time)
+        self._metrics.add_detour(trip.detour_time)
         self._metrics.completed += 1
 
         episode = self._episodes[taxi.taxi_id]
@@ -190,6 +250,10 @@ class Simulator:
         if taxi.occupancy == 0 and episode.active:
             self._settle_episode(taxi, episode, t)
             episode.active = False
+        if self._compact:
+            # Soak mode: the trip's samples are folded in; drop the
+            # record so the fleet log stays bounded over long streams.
+            self._log.trips.pop(request.request_id, None)
 
     def _quote_fare(self, taxi: Taxi, episode: _EpisodeState,
                     request: RideRequest, t: float) -> None:
@@ -296,6 +360,12 @@ class Simulator:
             self._offline_pool[int(node)].append(request)
         if catchment.size == 0:
             self._offline_pool[request.origin].append(request)
+        self._pending_offline[request.request_id] = request
+
+    def _resolve_offline(self, rid: int) -> None:
+        """An offline request reached a terminal bucket: stop tracking it."""
+        self._offline_done.add(rid)
+        self._pending_offline.pop(rid, None)
 
     def _scan_encounters(self, taxi: Taxi, traversed: list[tuple[int, float]]) -> None:
         scanned = 0
@@ -316,21 +386,21 @@ class Simulator:
                     # Expired: the passenger gave up.  Count it — these
                     # used to vanish silently, leaving served + failed
                     # short of the request total.
-                    self._offline_done.add(rid)
+                    self._resolve_offline(rid)
                     self._metrics.expired_offline += 1
                     self._obs.event("offline_expired", request=rid, t=t)
                     continue
                 result = self._scheme.try_offline(taxi, request, t)
                 if result is not None:
                     self._install(result, request, t, offline=True)
-                    self._offline_done.add(rid)
+                    self._resolve_offline(rid)
                     continue
                 if self._redispatch:
                     handled = self._dispatch_online(request, t, count_response=False)
                     if handled:
                         self._metrics.served_online -= 1
                         self._metrics.served_offline += 1
-                        self._offline_done.add(rid)
+                        self._resolve_offline(rid)
                         continue
                 still_waiting.append(request)
             if still_waiting:
@@ -415,9 +485,11 @@ class Simulator:
             # scheme was already notified and the episode settled).
             trip = self._log.trips[rid]
             self._log.record_dropoff(request, now)
-            self._metrics.waiting_times_s.append(trip.waiting_time)
-            self._metrics.detour_times_s.append(trip.detour_time)
+            self._metrics.add_waiting(trip.waiting_time)
+            self._metrics.add_detour(trip.detour_time)
             self._metrics.completed += 1
+            if self._compact:
+                self._log.trips.pop(rid, None)
             return
         spec = self._faults.spec
         cont_id = CONTINUATION_ID_BASE + self._cont_serial
@@ -491,7 +563,7 @@ class Simulator:
         elif request.offline:
             if rid in self._offline_done:
                 return  # expired before the passenger bothered to cancel
-            self._offline_done.add(rid)
+            self._resolve_offline(rid)
             self._metrics.cancelled_offline += 1
         else:
             return  # online and never matched: already in unserved_online
@@ -533,6 +605,8 @@ class Simulator:
         self._log.record_assignment(request, result.taxi_id, now)
         if offline:
             self._metrics.served_offline += 1
+            if self.on_decision is not None:
+                self.on_decision(request, now, True, result.taxi_id, 0.0, "offline")
         else:
             self._metrics.served_online += 1
 
@@ -550,79 +624,125 @@ class Simulator:
             redispatch=not count_response,
         )
         if count_response:
-            self._metrics.response_times_s.append(elapsed)
+            self._metrics.add_response(elapsed)
+        kind = "online" if count_response else "redispatch"
         if result is None:
             if count_response:
                 self._metrics.unserved_online += 1
+            if self.on_decision is not None:
+                self.on_decision(request, now, False, None, elapsed, kind)
             return False
         if count_response:
-            self._metrics.candidate_counts.append(result.num_candidates)
+            self._metrics.add_candidates(result.num_candidates)
         self._install(result, request, now, offline=False)
+        if self.on_decision is not None:
+            self.on_decision(request, now, True, result.taxi_id, elapsed, kind)
         return True
 
     # ------------------------------------------------------------------
+    # run orchestration (batch and streaming share every piece below)
+    # ------------------------------------------------------------------
     def run(self) -> SimulationMetrics:
-        """Execute the full workload and return the collected metrics."""
-        wall_start = time.perf_counter()  # repro-lint: disable=REP003 reason=wall_time_s metric only, never a decision input
+        """Execute the full workload and return the collected metrics.
+
+        Batch mode is one kernel client: every request becomes a
+        ``request.release`` event (heap order restores any ingestion
+        disorder), the post-release drain is a chain of ``drain.tick``
+        events, and the boundary work per event is exactly the classic
+        loop's — so decision traces are bit-identical to the pre-kernel
+        engine.
+        """
+        self._start_run(count_population=True)
+        for request in self._requests:
+            self._kernel.schedule(request.release_time, REQUEST_RELEASE, request)
+        self._kernel.run()
+        self._drain()
+        return self._finish_run()
+
+    def _start_run(self, count_population: bool) -> None:
+        """Prepare metrics baselines and the fleet for event dispatch."""
+        self._wall_start = time.perf_counter()  # repro-lint: disable=REP003 reason=wall_time_s metric only, never a decision input
         # The engine may be shared across runs (scenarios memoise it), so
         # cache statistics are reported as this run's delta.
         engine = self._scheme.engine
-        cache_hits0 = engine.cache_hits
-        cache_misses0 = engine.cache_misses
-        subgraph0 = subgraph_cache_stats()
-        self._metrics.num_requests = len(self._requests)
-        self._metrics.num_online = sum(1 for r in self._requests if not r.offline)
-        self._metrics.num_offline = self._metrics.num_requests - self._metrics.num_online
+        self._cache_base = (engine.cache_hits, engine.cache_misses, subgraph_cache_stats())
+        if count_population:
+            self._metrics.num_requests = len(self._requests)
+            self._metrics.num_online = sum(1 for r in self._requests if not r.offline)
+            self._metrics.num_offline = self._metrics.num_requests - self._metrics.num_online
+            if self._faults is not None:
+                self._request_by_id = {r.request_id: r for r in self._requests}
 
         self._scheme.register_fleet(self._fleet, now=0.0)
         for taxi in self._fleet.values():
             self._was_busy[taxi.taxi_id] = not taxi.idle
-        if self._faults is not None:
-            self._request_by_id = {r.request_id: r for r in self._requests}
 
-        last_release = 0.0
-        for request in self._requests:
-            now = request.release_time
-            last_release = max(last_release, now)
-            self._advance_all(now)
-            self._now = now
-            # Faults fire before the boundary's dispatch: a taxi broken
-            # by ``t <= now`` must not win the match for this request.
-            self._apply_faults(now)
-            if request.offline:
-                self._register_offline(request)
-            else:
-                self._dispatch_online(request, now)
-                contracts.check_request_accounting(self._metrics)
-
-        # Drain: keep moving until every schedule is finished.  The
-        # clock is committed on every step — it used to stay stale at
-        # ``last_release`` for the whole drain, so the monotone-clock
-        # contract compared each step against the wrong previous value
-        # and any event-boundary logic (fault injection) read old time.
-        now = last_release
-        deadline = last_release + DRAIN_HORIZON_S
-        while now < deadline and any(not t.idle for t in self._fleet.values()):
-            now += DRAIN_STEP_S
-            self._advance_all(now)
-            self._now = now
-            self._apply_faults(now)
+    def _boundary(self, now: float) -> None:
+        """The per-event boundary: advance the fleet, commit the clock,
+        replay due faults.  Order matters — a taxi broken by ``t <=
+        now`` must not win the match for a request released at ``now``,
+        so faults fire after the advance and before any dispatch."""
+        self._advance_all(now)
         self._now = now
+        self._apply_faults(now)
+
+    def _on_request_release(self, event: Event) -> None:
+        """Kernel handler: one ride request becomes visible."""
+        request: RideRequest = event.payload
+        now = event.time
+        self._last_release = max(self._last_release, now)
+        self._boundary(now)
+        if request.offline:
+            self._register_offline(request)
+        else:
+            self._dispatch_online(request, now)
+            contracts.check_request_accounting(self._metrics)
+
+    def _drain(self) -> None:
+        """Drive open schedules to completion after the last release.
+
+        Drain ticks are kernel events in fixed steps of
+        ``DRAIN_STEP_S``, each clamped to the horizon deadline so the
+        final boundary lands *exactly* on the cutoff.  (The pre-kernel
+        loop overstepped: ``now += DRAIN_STEP_S`` with a ``now <
+        deadline`` guard settled fares up to one full step past the
+        advertised horizon whenever the horizon was not a step
+        multiple.)  The clock is committed on every tick — it used to
+        stay stale at the last release for the whole drain, so the
+        monotone-clock contract compared each step against the wrong
+        previous value and fault injection read old time.
+        """
+        now = self._last_release
+        deadline = now + DRAIN_HORIZON_S
+        if now < deadline and any(not t.idle for t in self._fleet.values()):
+            self._kernel.schedule(min(now + DRAIN_STEP_S, deadline), DRAIN_TICK, deadline)
+            self._kernel.run()
+        self._now = max(self._now, now)
+
+    def _on_drain_tick(self, event: Event) -> None:
+        """Kernel handler: one post-release drain step."""
+        now = event.time
+        deadline: float = event.payload
+        self._boundary(now)
+        if now < deadline and any(not t.idle for t in self._fleet.values()):
+            self._kernel.schedule(min(now + DRAIN_STEP_S, deadline), DRAIN_TICK, deadline)
+
+    def _finish_run(self) -> SimulationMetrics:
+        """Close the books: offline sweep, episode settlement, gauges."""
+        now = self._now
 
         # Final offline accounting: requests no taxi ever resolved are
         # either expired (deadline passed while waiting at the roadside)
         # or still waiting when the run ended.  Without this sweep the
         # request balance does not close.
-        for request in self._requests:
-            if not request.offline:
-                continue
-            rid = request.request_id
+        for rid, request in list(self._pending_offline.items()):
             if rid in self._offline_done or rid in self._log.trips:
                 continue
             if now > request.pickup_deadline:
                 self._metrics.expired_offline += 1
             else:
                 self._metrics.unserved_offline += 1
+        self._pending_offline.clear()
 
         # Episodes still open were cut off by the drain horizon with
         # passengers aboard.  Settle them at the cutoff instant so their
@@ -637,6 +757,8 @@ class Simulator:
             self._obs.count("sim.unsettled_episodes")
             self._obs.event("unsettled_episode", taxi=tid, t=self._now)
 
+        engine = self._scheme.engine
+        cache_hits0, cache_misses0, subgraph0 = self._cache_base or (0, 0, subgraph_cache_stats())
         obs = self._obs
         obs.gauge("spe.cache_hits", engine.cache_hits - cache_hits0)
         obs.gauge("spe.cache_misses", engine.cache_misses - cache_misses0)
@@ -646,12 +768,92 @@ class Simulator:
         obs.gauge("kernel.subgraph_builds", subgraph["builds"] - subgraph0["builds"])
         obs.gauge("kernel.subgraph_entries", subgraph["entries"])
         obs.gauge("kernel.subgraph_memory_bytes", subgraph["memory_bytes"])
+        obs.gauge("kernel.events_processed", self._kernel.events_processed)
+        obs.gauge("kernel.events_scheduled", self._kernel.events_scheduled)
         self._scheme.collect_observability(obs)
         self._metrics.stages = obs.stage_snapshot()
         self._metrics.counters = obs.counter_snapshot()
         obs.close()
 
         self._metrics.index_memory_bytes = self._scheme.index_memory_bytes()
-        self._metrics.wall_time_s = time.perf_counter() - wall_start  # repro-lint: disable=REP003 reason=wall_time_s metric only, never a decision input
+        self._metrics.wall_time_s = time.perf_counter() - self._wall_start  # repro-lint: disable=REP003 reason=wall_time_s metric only, never a decision input
         self._metrics.check_balance()
         return self._metrics
+
+    # ------------------------------------------------------------------
+    # streaming ingestion (the service façade's entry points)
+    # ------------------------------------------------------------------
+    def stream_begin(self) -> None:
+        """Start an incremental run fed by :meth:`stream_submit`.
+
+        The workload population counters grow per submission instead of
+        being counted up front; everything else — the kernel, the event
+        boundary, the drain, the final accounting — is shared with
+        :meth:`run`, which is what makes batch and streamed replays of
+        the same workload bit-identical.
+        """
+        if self._streaming:
+            raise RuntimeError("stream_begin() called twice")
+        if self._requests:
+            raise RuntimeError(
+                "streaming and a constructor workload are mutually exclusive; "
+                "construct the simulator with requests=[]"
+            )
+        self._streaming = True
+        self._start_run(count_population=False)
+
+    def stream_submit(self, request: RideRequest) -> None:
+        """Accept one request into the event queue.
+
+        The caller (the service façade) has already admitted it; the
+        release time must be at or after the committed clock — late
+        arrivals are the *caller's* admission decision (reject or
+        clamp), by design (:class:`~repro.sim.kernel.ScheduledInPast`).
+        The request list is not retained, so memory stays bounded by
+        the in-flight queue, not the stream length.
+        """
+        if not self._streaming:
+            raise RuntimeError("stream_submit() before stream_begin()")
+        self._metrics.num_requests += 1
+        if request.offline:
+            self._metrics.num_offline += 1
+        else:
+            self._metrics.num_online += 1
+        if self._faults is not None:
+            self._request_by_id[request.request_id] = request
+        self._kernel.schedule(request.release_time, REQUEST_RELEASE, request)
+
+    def stream_pump(self, until: float | None = None) -> int:
+        """Dispatch queued events (optionally only up to ``until``)."""
+        if not self._streaming:
+            raise RuntimeError("stream_pump() before stream_begin()")
+        return self._kernel.run(until=until)
+
+    def stream_finish(self) -> SimulationMetrics:
+        """End the stream: flush the queue, drain, close the books."""
+        if not self._streaming:
+            raise RuntimeError("stream_finish() before stream_begin()")
+        self._kernel.run()
+        self._drain()
+        self._streaming = False
+        return self._finish_run()
+
+    def record_rejection(self, request: RideRequest, reason: str) -> None:
+        """Account one request refused at the service admission boundary.
+
+        The request enters the population counters and its terminal
+        ``rejected_*`` bucket in the same breath, so the accounting
+        identity (:meth:`SimulationMetrics.check_balance`) closes
+        without the dispatcher ever seeing the request.
+        """
+        self._metrics.num_requests += 1
+        if request.offline:
+            self._metrics.num_offline += 1
+            self._metrics.rejected_offline += 1
+        else:
+            self._metrics.num_online += 1
+            self._metrics.rejected_online += 1
+        self._obs.count(f"service.rejected.{reason}")
+        self._obs.event(
+            "rejected", request=request.request_id, reason=reason, t=self._now
+        )

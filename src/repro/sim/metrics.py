@@ -15,6 +15,30 @@ from dataclasses import dataclass, field
 
 
 @dataclass
+class RunningStat:
+    """Constant-memory mean aggregate of one sample stream.
+
+    Raw sample lists grow with the workload; a long-lived streaming
+    service (:mod:`repro.service`) caps them (``sample_cap``) and the
+    derived averages fall back to these running aggregates, which cost
+    two floats regardless of how many samples went through.
+    """
+
+    count: int = 0
+    total: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the aggregate."""
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all samples seen (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
 class SimulationMetrics:
     """Raw samples and derived aggregates for one simulation run."""
 
@@ -58,10 +82,28 @@ class SimulationMetrics:
     #: run; they are force-settled at the cutoff so fares are conserved.
     unsettled_episodes: int = 0
 
+    # -- streaming-service admission buckets (repro.service) -----------
+    #: Requests refused at the service boundary (duplicate delivery,
+    #: arrival after the committed clock, backpressure on a full
+    #: in-flight queue) — they enter ``num_*`` but never reach the
+    #: dispatcher, so they form their own terminal accounting bucket.
+    rejected_online: int = 0
+    rejected_offline: int = 0
+
     response_times_s: list[float] = field(default_factory=list)
     waiting_times_s: list[float] = field(default_factory=list)
     detour_times_s: list[float] = field(default_factory=list)
     candidate_counts: list[int] = field(default_factory=list)
+
+    #: When set, the raw sample lists above stop growing at this length
+    #: (the running aggregates keep counting), bounding resident memory
+    #: for soak-length runs.  ``None`` (the default) retains everything,
+    #: which the determinism fingerprints rely on.
+    sample_cap: int | None = None
+    response_stat: RunningStat = field(default_factory=RunningStat)
+    waiting_stat: RunningStat = field(default_factory=RunningStat)
+    detour_stat: RunningStat = field(default_factory=RunningStat)
+    candidate_stat: RunningStat = field(default_factory=RunningStat)
 
     regular_fares: float = 0.0
     shared_fares: float = 0.0
@@ -81,6 +123,40 @@ class SimulationMetrics:
     #: Observability counters and end-of-run gauges (cache hits/misses,
     #: insertion instances evaluated, encounters scanned, index sizes).
     counters: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # sample ingestion (cap-aware; the simulator routes through these)
+    # ------------------------------------------------------------------
+    def _add_sample(self, samples: list, stat: RunningStat, value) -> None:
+        stat.add(value)
+        if self.sample_cap is None or len(samples) < self.sample_cap:
+            samples.append(value)
+
+    def add_response(self, seconds: float) -> None:
+        """Record one matching latency sample."""
+        self._add_sample(self.response_times_s, self.response_stat, seconds)
+
+    def add_waiting(self, seconds: float) -> None:
+        """Record one pick-up waiting-time sample."""
+        self._add_sample(self.waiting_times_s, self.waiting_stat, seconds)
+
+    def add_detour(self, seconds: float) -> None:
+        """Record one detour-time sample."""
+        self._add_sample(self.detour_times_s, self.detour_stat, seconds)
+
+    def add_candidates(self, count: int) -> None:
+        """Record one candidate-set-size sample."""
+        self._add_sample(self.candidate_counts, self.candidate_stat, count)
+
+    @staticmethod
+    def _stream_mean(samples: list, stat: RunningStat) -> float:
+        """Mean over *all* samples: exact list mean while the list is
+        complete (or was filled directly, bypassing the ``add_*``
+        helpers), running aggregate once the cap truncated it."""
+        n = len(samples)
+        if n and stat.count in (0, n):
+            return statistics.fmean(samples)
+        return stat.mean
 
     # ------------------------------------------------------------------
     @property
@@ -109,6 +185,11 @@ class SimulationMetrics:
         return self.stranded_online + self.stranded_offline
 
     @property
+    def rejected(self) -> int:
+        """Requests refused at the service admission boundary."""
+        return self.rejected_online + self.rejected_offline
+
+    @property
     def lazy_cache_hit_rate(self) -> float:
         """Shortest-path source-tree cache hit rate (1.0 in full mode)."""
         hits = self.counters.get("spe.cache_hits", 0)
@@ -126,12 +207,14 @@ class SimulationMetrics:
 
         Every request must end in exactly one bucket::
 
-            served_online + unserved_online
-                + cancelled_online + stranded_online   == num_online
+            served_online + unserved_online + cancelled_online
+                + stranded_online + rejected_online    == num_online
             served_offline + expired_offline + unserved_offline
-                + cancelled_offline + stranded_offline == num_offline
+                + cancelled_offline + stranded_offline
+                + rejected_offline                     == num_offline
 
-        The fault buckets are zero in fault-free runs, so the identity
+        The fault buckets are zero in fault-free runs and the rejected
+        buckets are zero outside the streaming service, so the identity
         reduces to the original one.  The simulator calls this at the
         end of every run so a request silently vanishing (the pre-fix
         behaviour of expired offline requests) fails loudly instead of
@@ -142,6 +225,7 @@ class SimulationMetrics:
             + self.unserved_online
             + self.cancelled_online
             + self.stranded_online
+            + self.rejected_online
         )
         offline = (
             self.served_offline
@@ -149,45 +233,48 @@ class SimulationMetrics:
             + self.unserved_offline
             + self.cancelled_offline
             + self.stranded_offline
+            + self.rejected_offline
         )
         if online != self.num_online or offline != self.num_offline:
             raise ValueError(
                 "request accounting out of balance: "
                 f"online {self.served_online}+{self.unserved_online}"
                 f"+{self.cancelled_online}+{self.stranded_online}"
+                f"+{self.rejected_online}"
                 f"={online} vs {self.num_online}; "
                 f"offline {self.served_offline}+{self.expired_offline}"
                 f"+{self.unserved_offline}+{self.cancelled_offline}"
-                f"+{self.stranded_offline}={offline} vs {self.num_offline}"
+                f"+{self.stranded_offline}+{self.rejected_offline}"
+                f"={offline} vs {self.num_offline}"
             )
 
     @property
     def avg_response_ms(self) -> float:
         """Mean matching latency per online request, in milliseconds."""
-        if not self.response_times_s:
+        if not self.response_times_s and not self.response_stat.count:
             return 0.0
-        return 1000.0 * statistics.fmean(self.response_times_s)
+        return 1000.0 * self._stream_mean(self.response_times_s, self.response_stat)
 
     @property
     def avg_waiting_min(self) -> float:
         """Mean pick-up wait of served requests, in minutes."""
-        if not self.waiting_times_s:
+        if not self.waiting_times_s and not self.waiting_stat.count:
             return 0.0
-        return statistics.fmean(self.waiting_times_s) / 60.0
+        return self._stream_mean(self.waiting_times_s, self.waiting_stat) / 60.0
 
     @property
     def avg_detour_min(self) -> float:
         """Mean extra on-board travel of completed trips, in minutes."""
-        if not self.detour_times_s:
+        if not self.detour_times_s and not self.detour_stat.count:
             return 0.0
-        return statistics.fmean(self.detour_times_s) / 60.0
+        return self._stream_mean(self.detour_times_s, self.detour_stat) / 60.0
 
     @property
     def avg_candidates(self) -> float:
         """Mean candidate-set size per dispatched request (Table III)."""
-        if not self.candidate_counts:
+        if not self.candidate_counts and not self.candidate_stat.count:
             return 0.0
-        return statistics.fmean(self.candidate_counts)
+        return self._stream_mean(self.candidate_counts, self.candidate_stat)
 
     @property
     def fare_saving_pct(self) -> float:
@@ -216,6 +303,7 @@ class SimulationMetrics:
             "cancelled": self.cancelled,
             "reassigned": self.reassigned,
             "stranded": self.stranded,
+            "rejected": self.rejected,
             "shock_delays": self.shock_delays,
             "unsettled_episodes": self.unsettled_episodes,
             "service_rate": round(self.service_rate, 4),

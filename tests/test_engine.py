@@ -409,3 +409,108 @@ class TestDrainHorizonCutoff:
         _sim, m = cutoff_run
         m.check_balance()  # raises if any bucket leaked
         assert m.served_online == 1
+
+
+class TestUnsortedStreamIngest:
+    """Regression: an unsorted request stream must not corrupt the clock.
+
+    The batch loop used to trust ``self._requests`` to be sorted: any
+    out-of-order delivery (a stream source, a caller bypassing the
+    constructor) dragged the committed clock backwards — taxis
+    re-advanced to an earlier ``now``, fault replay cursors ran ahead,
+    and with contracts on the run died on ``check_monotone_clock``.
+    The kernel heap-orders ingest, so delivery order no longer matters:
+    a shuffled workload must produce bit-identical decisions to the
+    sorted one."""
+
+    def _run(self, test_scenario, shuffle_seed=None):
+        import random
+
+        requests = test_scenario.requests()
+        sim = Simulator(
+            test_scenario.make_scheme("mt-share"),
+            test_scenario.make_fleet(15, seed=1),
+            requests,
+        )
+        if shuffle_seed is not None:
+            # Emulate out-of-order stream delivery by bypassing the
+            # constructor's sort.
+            shuffled = list(sim._requests)
+            random.Random(shuffle_seed).shuffle(shuffled)
+            assert shuffled != sim._requests
+            sim._requests = shuffled
+        m = sim.run()
+        trips = {
+            rid: (t.taxi_id, t.assign_time, t.pickup_time, t.dropoff_time)
+            for rid, t in sim.log.trips.items()
+        }
+        return trips, m
+
+    def test_shuffled_stream_matches_sorted(self, test_scenario):
+        # Distinct release times make the heap order total, so the
+        # shuffled run must reproduce the sorted run exactly.
+        times = [r.release_time for r in test_scenario.requests()]
+        assert len(set(times)) == len(times)
+
+        trips_sorted, m_sorted = self._run(test_scenario)
+        trips_shuffled, m_shuffled = self._run(test_scenario, shuffle_seed=7)
+        assert trips_shuffled == trips_sorted
+        assert m_shuffled.served == m_sorted.served
+        assert m_shuffled.waiting_times_s == m_sorted.waiting_times_s
+        assert m_shuffled.detour_times_s == m_sorted.detour_times_s
+        assert m_shuffled.candidate_counts == m_sorted.candidate_counts
+        m_shuffled.check_balance()
+
+
+class TestDrainOvershoot:
+    """Regression: the drain loop must not step past its horizon.
+
+    ``while now < deadline: now += DRAIN_STEP_S`` overstepped the
+    deadline by up to one full step whenever the horizon was not a
+    step multiple — fleet state advanced and episodes settled up to
+    ``DRAIN_STEP_S`` seconds past the advertised cutoff.  The kernel
+    drain clamps the last tick to the deadline, so the final boundary
+    lands exactly on it."""
+
+    def test_last_drain_boundary_lands_on_deadline(
+        self, small_net, small_engine, monkeypatch
+    ):
+        from repro.baselines.nosharing import NoSharing
+        from repro.config import SystemConfig
+        from tests.conftest import make_request
+
+        # A horizon that is NOT a multiple of DRAIN_STEP_S (60 s).
+        monkeypatch.setattr("repro.sim.engine.DRAIN_HORIZON_S", 150.0)
+
+        class ClockRecorder(Simulator):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.boundaries = []
+
+            def _advance_all(self, now):
+                self.boundaries.append(now)
+                super()._advance_all(now)
+
+        width = small_net.xy[:, 0].max() - small_net.xy[:, 0].min()
+        config = SystemConfig(search_range_m=float(width) * 2.0,
+                              speed_mps=small_net.speed_mps)
+        scheme = NoSharing(small_net, small_engine, config)
+        # One cross-town trip (~11 min) released at t=0: the taxi is
+        # still busy when the 150 s horizon cuts the run.
+        request = make_request(
+            request_id=0, release_time=0.0, origin=0, destination=99,
+            direct_cost=small_engine.cost(0, 99), rho=3.0,
+        )
+        taxi = Taxi(taxi_id=0, capacity=3, loc=0)
+        sim = ClockRecorder(scheme, [taxi], [request], payment=PaymentModel())
+        m = sim.run()
+
+        drain = [t for t in sim.boundaries if t > 0.0]
+        assert drain, "the run must actually drain"
+        # No boundary past the horizon, and the last one exactly on it.
+        assert max(drain) <= 150.0
+        assert drain[-1] == pytest.approx(150.0)
+        # The cut-off episode settles at the cutoff instant, not beyond.
+        assert sim._now == pytest.approx(150.0)
+        assert m.unsettled_episodes == 1
+        m.check_balance()

@@ -103,7 +103,7 @@ def test_rep001_all_str_literal_set_exempt(tmp_path):
 def test_rep001_out_of_scope_package_not_flagged(tmp_path):
     result = lint_source(
         tmp_path,
-        "repro/sim/mod.py",
+        "repro/experiments/mod.py",
         """
         def walk(nodes: set[int]) -> list[int]:
             return list(nodes)

@@ -1,0 +1,399 @@
+"""Streaming dispatch service tests: equivalence, admission, transport.
+
+The load-bearing guarantee is *equivalence*: a workload replayed
+through the service façade — any submission order, any pumping cadence
+— must produce decisions bit-identical to batch ``Simulator.run()``
+over the same workload, because both reduce to the same heap-ordered
+event sequence.  On top of that, admission control (duplicate, late,
+backpressure) must keep the request-accounting identity closed.
+"""
+
+import json
+import random
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.payment import PaymentModel
+from repro.demand.request import RideRequest
+from repro.sim.engine import COMPACT_SAMPLE_CAP, Simulator
+from repro.sim.scenario import ScenarioSpec, get_scenario
+from repro.service import (
+    REJECT_BACKPRESSURE,
+    REJECT_DUPLICATE,
+    REJECT_LATE,
+    AdmissionPolicy,
+    DispatchService,
+    ServiceConfig,
+    jsonl_requests,
+    request_from_dict,
+    request_to_dict,
+    synthetic_requests,
+)
+from repro.service.http import make_server
+from tests.conftest import make_request
+from tests.test_runner_parallel import decision_fingerprint
+
+SERVICE_SPEC = ScenarioSpec(
+    kind="peak",
+    grid_rows=8,
+    grid_cols=8,
+    spacing_m=180.0,
+    hourly_requests=120,
+    history_days=2,
+    num_partitions=9,
+    offline_count=10,
+    seed=3,
+)
+
+MEASURED_KEYS = frozenset(
+    {"response_ms", "stage_candidates_ms", "stage_insertion_ms", "stage_planning_ms"}
+)
+
+
+@pytest.fixture(scope="module")
+def svc_scenario():
+    return get_scenario(SERVICE_SPEC)
+
+
+def _make_sim(scenario, workload, scheme="mt-share", **kwargs):
+    return Simulator(
+        scenario.make_scheme(scheme),
+        scenario.make_fleet(15, seed=1),
+        workload,
+        payment=PaymentModel(),
+        **kwargs,
+    )
+
+
+def _decision_summary(m):
+    return {k: v for k, v in m.summary().items() if k not in MEASURED_KEYS}
+
+
+class TestEquivalence:
+    @pytest.fixture(scope="class")
+    def batch(self, svc_scenario):
+        sim = _make_sim(svc_scenario, svc_scenario.requests())
+        return sim, sim.run()
+
+    def test_eager_stream_matches_batch(self, svc_scenario, batch):
+        _bsim, bm = batch
+        service = DispatchService(_make_sim(svc_scenario, []))
+        sm = service.replay(iter(svc_scenario.requests()), pump_every=1)
+        assert decision_fingerprint(sm) == decision_fingerprint(bm)
+        assert _decision_summary(sm) == _decision_summary(bm)
+
+    def test_out_of_order_delivery_matches_batch(self, svc_scenario, batch):
+        # Shuffled delivery with deferred pumping: the heap restores
+        # release order, so decisions match the sorted batch exactly.
+        _bsim, bm = batch
+        shuffled = list(svc_scenario.requests())
+        random.Random(11).shuffle(shuffled)
+        service = DispatchService(_make_sim(svc_scenario, []))
+        sm = service.replay(iter(shuffled), pump_every=None)
+        assert decision_fingerprint(sm) == decision_fingerprint(bm)
+
+    def test_chunked_pumping_matches_batch(self, svc_scenario, batch):
+        _bsim, bm = batch
+        service = DispatchService(_make_sim(svc_scenario, []))
+        sm = service.replay(iter(svc_scenario.requests()), pump_every=17)
+        assert decision_fingerprint(sm) == decision_fingerprint(bm)
+
+    def test_double_run_determinism_through_facade(self, svc_scenario):
+        def run_once():
+            service = DispatchService(_make_sim(svc_scenario, []))
+            m = service.replay(iter(svc_scenario.requests()), pump_every=1)
+            trips = {
+                rid: (t.taxi_id, t.assign_time, t.pickup_time, t.dropoff_time)
+                for rid, t in service.sim.log.trips.items()
+            }
+            return trips, decision_fingerprint(m), _decision_summary(m)
+
+        assert run_once() == run_once()
+
+    def test_decision_stream_covers_online_requests(self, svc_scenario):
+        service = DispatchService(_make_sim(svc_scenario, []))
+        m = service.replay(iter(svc_scenario.requests()), pump_every=1)
+        online = [d for d in service.decisions if d.kind == "online"]
+        # One first-look decision per online request, no more, no less.
+        assert len(online) == m.num_online
+        matched = sum(1 for d in online if d.status == "matched")
+        unmatched = sum(1 for d in online if d.status == "unmatched")
+        assert matched + unmatched == m.num_online
+        assert unmatched == m.unserved_online
+        # Offline installs surface with their own kind.
+        offline = [d for d in service.decisions if d.kind == "offline"]
+        assert all(d.status == "matched" for d in offline)
+
+
+class TestAdmission:
+    def _service(self, svc_scenario, **policy_kw):
+        sim = _make_sim(svc_scenario, [], scheme="no-sharing")
+        return DispatchService(
+            sim, ServiceConfig(admission=AdmissionPolicy(**policy_kw))
+        )
+
+    def test_duplicate_delivery_rejected(self, svc_scenario):
+        service = self._service(svc_scenario)
+        r = svc_scenario.requests()[0]
+        assert service.submit(r).accepted
+        outcome = service.submit(r)
+        assert not outcome.accepted
+        assert outcome.reason == REJECT_DUPLICATE
+        m = service.finish()
+        assert m.rejected == 1
+        assert m.num_requests == 2
+        m.check_balance()
+
+    def test_late_arrival_rejected(self, svc_scenario):
+        service = self._service(svc_scenario)
+        service.submit(make_request(request_id=1, release_time=600.0))
+        service.pump()  # clock commits to 600
+        outcome = service.submit(make_request(request_id=2, release_time=100.0))
+        assert not outcome.accepted
+        assert outcome.reason == REJECT_LATE
+        m = service.finish()
+        assert m.rejected_online == 1
+        m.check_balance()
+
+    def test_late_arrival_clamped(self, svc_scenario):
+        service = self._service(svc_scenario, late_policy="clamp")
+        service.submit(make_request(request_id=1, release_time=600.0))
+        service.pump()
+        late = make_request(request_id=2, release_time=100.0, rho=20.0)
+        outcome = service.submit(late)
+        assert outcome.accepted and outcome.clamped
+        assert outcome.request.release_time == 600.0
+        assert outcome.request.deadline == late.deadline  # deadline kept
+        m = service.finish()
+        assert m.rejected == 0
+        m.check_balance()
+
+    def test_clamp_with_infeasible_deadline_rejects(self, svc_scenario):
+        service = self._service(svc_scenario, late_policy="clamp")
+        service.submit(make_request(request_id=1, release_time=600.0))
+        service.pump()
+        # Clamping to t=600 leaves less than direct_cost before the
+        # deadline: the trip can no longer happen.
+        doomed = make_request(request_id=2, release_time=100.0, rho=1.05)
+        outcome = service.submit(doomed)
+        assert not outcome.accepted
+        assert outcome.reason == REJECT_LATE
+        service.finish().check_balance()
+
+    def test_backpressure_bounds_in_flight(self, svc_scenario):
+        service = self._service(svc_scenario, max_in_flight=2)
+        requests = svc_scenario.requests()[:5]
+        outcomes = [service.submit(r) for r in requests]  # never pumped
+        accepted = [o for o in outcomes if o.accepted]
+        rejected = [o for o in outcomes if not o.accepted]
+        assert len(accepted) == 2
+        assert len(rejected) == 3
+        assert all(o.reason == REJECT_BACKPRESSURE for o in rejected)
+        assert service.pending == 2
+        m = service.finish()
+        assert m.rejected == 3
+        assert m.num_requests == 5
+        assert service.rejections == {REJECT_BACKPRESSURE: 3}
+        m.check_balance()  # rejected requests fold into the identity
+
+    def test_backpressure_recovers_after_pump(self, svc_scenario):
+        service = self._service(svc_scenario, max_in_flight=2)
+        requests = svc_scenario.requests()[:3]
+        service.submit(requests[0])
+        service.submit(requests[1])
+        assert not service.submit(requests[2]).accepted
+        service.pump()  # drain the queue
+        retry = service.submit(requests[2])
+        assert retry.accepted  # rejection does not poison the id
+        service.finish().check_balance()
+
+    def test_rejections_surface_in_contract(self, svc_scenario):
+        # The mid-run accounting contract counts rejected buckets, so a
+        # rejection right after submission does not trip it.
+        from repro.analysis import contracts
+
+        service = self._service(svc_scenario, max_in_flight=1)
+        requests = svc_scenario.requests()[:3]
+        for r in requests:
+            service.submit(r)
+        contracts.check_request_accounting(service.sim.metrics)
+        service.finish().check_balance()
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(late_policy="drop")
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_in_flight=0)
+
+
+class TestDecisionStream:
+    def test_records_have_expected_shape(self, svc_scenario):
+        service = DispatchService(_make_sim(svc_scenario, [], scheme="no-sharing"))
+        service.replay(iter(svc_scenario.requests()[:20]), pump_every=1)
+        assert service.decisions
+        for d in service.decisions:
+            assert d.status in ("matched", "unmatched", "rejected")
+            assert d.kind in ("online", "redispatch", "offline") or d.status == "rejected"
+            if d.status == "matched":
+                assert d.taxi_id is not None
+
+    def test_sink_bypasses_retention(self, svc_scenario):
+        seen = []
+        service = DispatchService(
+            _make_sim(svc_scenario, [], scheme="no-sharing"),
+            on_decision=seen.append,
+        )
+        service.replay(iter(svc_scenario.requests()[:10]), pump_every=1)
+        assert seen
+        assert service.decisions == []
+
+
+class TestCodec:
+    def test_request_round_trip(self):
+        r = make_request(request_id=42, release_time=1.5, offline=True,
+                         num_passengers=2)
+        assert request_from_dict(request_to_dict(r)) == r
+
+    def test_unknown_keys_ignored(self):
+        payload = request_to_dict(make_request(request_id=1))
+        payload["annotation"] = "extra"
+        assert request_from_dict(payload).request_id == 1
+
+    def test_jsonl_round_trip(self, svc_scenario, tmp_path):
+        requests = svc_scenario.requests()[:25]
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w") as f:
+            for r in requests:
+                f.write(json.dumps(request_to_dict(r)) + "\n")
+        assert list(jsonl_requests(str(path))) == requests
+
+    def test_jsonl_bad_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"request_id": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            list(jsonl_requests(str(path)))
+
+
+class TestSyntheticSource:
+    def test_deterministic_and_sorted(self, small_engine):
+        a = list(synthetic_requests(small_engine, 50, seed=9))
+        b = list(synthetic_requests(small_engine, 50, seed=9))
+        assert a == b
+        assert len(a) == 50
+        times = [r.release_time for r in a]
+        assert times == sorted(times)
+        assert all(isinstance(r, RideRequest) and not r.offline for r in a)
+
+    def test_streams_through_service(self, svc_scenario):
+        scheme = svc_scenario.make_scheme("no-sharing")
+        service = DispatchService(_make_sim(svc_scenario, [], scheme="no-sharing"))
+        m = service.replay(
+            synthetic_requests(scheme.engine, 100, rate_per_s=0.5, seed=4),
+            pump_every=1,
+        )
+        assert m.num_requests == 100
+        m.check_balance()
+
+
+class TestCompactMode:
+    def test_sample_lists_bounded_but_aggregates_exact(self, svc_scenario):
+        full = _make_sim(svc_scenario, svc_scenario.requests(), scheme="no-sharing")
+        mf = full.run()
+        compact = _make_sim(
+            svc_scenario, svc_scenario.requests(), scheme="no-sharing", compact=True
+        )
+        compact.metrics.sample_cap = 5  # force truncation on a small run
+        mc = compact.run()
+        assert len(mc.waiting_times_s) == 5
+        assert mc.waiting_stat.count == len(mf.waiting_times_s)
+        assert mc.avg_waiting_min == pytest.approx(mf.avg_waiting_min)
+        assert mc.avg_detour_min == pytest.approx(mf.avg_detour_min)
+        assert mc.avg_candidates == pytest.approx(mf.avg_candidates)
+        # Scalar decisions are untouched by compaction.
+        assert mc.served == mf.served
+        assert mc.completed == mf.completed
+
+    def test_completed_trips_evicted(self, svc_scenario):
+        compact = _make_sim(
+            svc_scenario, svc_scenario.requests(), scheme="no-sharing", compact=True
+        )
+        mc = compact.run()
+        assert mc.completed > 0
+        assert not compact.log.completed()  # evicted as they finished
+        assert compact.metrics.sample_cap == COMPACT_SAMPLE_CAP
+        mc.check_balance()
+
+
+class TestHTTPEndpoint:
+    @pytest.fixture()
+    def server(self, svc_scenario):
+        service = DispatchService(_make_sim(svc_scenario, [], scheme="no-sharing"))
+        server, state = make_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}", state
+        server.shutdown()
+        server.server_close()
+
+    @staticmethod
+    def _post(base, path, payload):
+        req = urllib.request.Request(
+            base + path,
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    @staticmethod
+    def _get(base, path):
+        with urllib.request.urlopen(base + path) as resp:
+            return resp.status, json.loads(resp.read())
+
+    def test_end_to_end(self, svc_scenario, server):
+        base, _state = server
+        requests = svc_scenario.requests()[:6]
+        statuses = []
+        for r in requests:
+            code, body = self._post(base, "/requests", request_to_dict(r))
+            assert code == 200 and body["accepted"]
+            statuses.extend(d["status"] for d in body["decisions"])
+        assert statuses  # eager pumping returns decisions inline
+
+        code, body = self._post(base, "/requests", request_to_dict(requests[0]))
+        assert code == 409 and body["reason"] == REJECT_DUPLICATE
+
+        code, body = self._get(base, "/healthz")
+        assert code == 200 and body["ok"] and body["submitted"] == 7
+
+        code, body = self._get(base, "/metrics")
+        assert code == 200 and body["rejected"] == 1
+
+        code, body = self._post(base, "/finish", {})
+        assert code == 200
+        summary = body["summary"]
+        assert summary["served"] + summary["unserved"] + summary["rejected"] >= 7
+
+        # Submissions after finish are refused cleanly.
+        code, body = self._post(base, "/requests", request_to_dict(requests[1]))
+        assert code == 409
+
+    def test_malformed_request_is_client_error(self, server):
+        base, _state = server
+        code, body = self._post(base, "/requests", {"request_id": 1})
+        assert code == 400 and "error" in body
+
+    def test_unknown_path_404(self, server):
+        base, _state = server
+        code, _ = self._get(base, "/healthz")
+        assert code == 200
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(base + "/nope")
