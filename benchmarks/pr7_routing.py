@@ -1,0 +1,298 @@
+"""Contraction-hierarchy routing benchmark (BENCH_PR7.json).
+
+Three sections, the interesting ones hard gates:
+
+1. **fingerprint** — one mT-Share scenario simulated twice, identical
+   except for ``sp_mode`` (``lazy`` vs ``ch``).  The decision stream
+   (assignments, pickup/dropoff times, waiting/detour samples, fares)
+   must be bit-identical: the hierarchy is a pure routing-backend swap
+   and may not perturb a single dispatch decision.
+2. **routing** — per network size (default ~10k and ~50k vertices,
+   ``--full`` adds ~200k): hierarchy build time, artifact round trip
+   through a cold store (the warm load must show ``builds == 0`` and
+   ``mmap_loads >= 1``), point-to-point and many-to-many query
+   latencies cold/warm, equality spot-checks against the lazy scipy
+   backend, and resident memory before/after.
+3. **dense baseline** — warm many-to-many per-entry cost on the
+   largest size must land within ``--dense-factor`` (default 5x) of a
+   dense APSP table lookup on a ~6k-vertex grid, the largest network
+   the O(V^2) table still comfortably serves.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/pr7_routing.py --out BENCH_PR7.json
+    PYTHONPATH=src python benchmarks/pr7_routing.py --quick --out /tmp/b.json
+    PYTHONPATH=src python benchmarks/pr7_routing.py --ci --out BENCH_PR7.json
+
+Exits nonzero on any violated gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import resource
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+os.environ.setdefault("REPRO_ARTIFACT_DIR", "off")
+
+#: Grid sides per profile: side^2 is the vertex count before the
+#: generator's ~0.1% removals.
+QUICK_SIDES = (100,)
+DEFAULT_SIDES = (100, 224)
+FULL_SIDES = (100, 224, 448)
+
+#: Side of the dense-baseline grid: the largest square grid under
+#: FULL_APSP_LIMIT (77^2 = 5929).
+DENSE_SIDE = 77
+
+
+def _rss_mb() -> float:
+    """Peak resident set size of this process in MB."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _fingerprint(sim, metrics) -> str:
+    payload = {
+        "trips": {
+            str(rid): (t.taxi_id, t.assign_time, t.pickup_time, t.dropoff_time)
+            for rid, t in sorted(sim.log.trips.items())
+        },
+        "served": metrics.served,
+        "completed": metrics.completed,
+        "waiting": metrics.waiting_times_s,
+        "detour": metrics.detour_times_s,
+        "candidates": metrics.candidate_counts,
+        "shared_fares": metrics.shared_fares,
+        "driver_incomes": metrics.driver_incomes,
+    }
+    return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# section 1: decision fingerprint across backends
+# ----------------------------------------------------------------------
+def run_fingerprint() -> dict:
+    from repro.sim.engine import Simulator
+    from repro.sim.scenario import Scenario, ScenarioSpec
+
+    fingerprints = {}
+    for sp_mode in ("lazy", "ch"):
+        spec = ScenarioSpec(
+            kind="peak", grid_rows=30, grid_cols=30, spacing_m=180.0,
+            hourly_requests=220, history_days=2, num_partitions=16,
+            offline_count=20, seed=3, sp_mode=sp_mode,
+        )
+        scenario = Scenario(spec)
+        sim = Simulator(
+            scenario.make_scheme("mt-share"),
+            scenario.make_fleet(40, seed=1),
+            scenario.requests(),
+        )
+        fingerprints[sp_mode] = _fingerprint(sim, sim.run())
+    section = {
+        "lazy_sha256": fingerprints["lazy"],
+        "ch_sha256": fingerprints["ch"],
+        "identical": fingerprints["lazy"] == fingerprints["ch"],
+    }
+    if not section["identical"]:
+        raise SystemExit(f"FAIL: lazy/ch decision fingerprints diverge: {section}")
+    return section
+
+
+# ----------------------------------------------------------------------
+# section 2: build + query microbenchmarks per network size
+# ----------------------------------------------------------------------
+def _time_pairs(fn, pairs) -> float:
+    """Mean microseconds per call of ``fn`` over ``pairs``."""
+    start = time.perf_counter()
+    for u, v in pairs:
+        fn(u, v)
+    return (time.perf_counter() - start) / len(pairs) * 1e6
+
+
+def bench_size(side: int, store_root: str) -> dict:
+    from repro.artifacts.store import ArtifactStore
+    from repro.network.ch import CH_FORMAT_VERSION, ContractionHierarchy
+    from repro.network.generators import grid_city
+    from repro.network.shortest_path import ShortestPathEngine
+
+    net = grid_city(rows=side, cols=side, spacing_m=180.0, seed=7)
+    n = net.num_vertices
+    rng = np.random.default_rng(side)
+    rss_before = _rss_mb()
+
+    start = time.perf_counter()
+    ch = ContractionHierarchy.build(net)
+    build_s = time.perf_counter() - start
+
+    # Artifact round trip through a cold store: the warm load must be a
+    # pure mmap with zero builds.
+    store = ArtifactStore(os.path.join(store_root, f"side{side}"))
+    spec = {"network": {"generator": "grid_city", "side": side, "seed": 7},
+            "format": CH_FORMAT_VERSION}
+    key = store.key_of("ch", spec)
+    store.save("ch", key, ch.to_arrays())
+    store.reset_stats()
+    art = store.load("ch", key)
+    counters = store.stats()["ch"]
+    warm = ShortestPathEngine(net, mode="ch", ch_arrays=dict(art.arrays))
+    if counters["builds"] != 0 or counters["mmap_loads"] < 1 or warm.ch_built:
+        raise SystemExit(f"FAIL: warm store counters wrong at side {side}: {counters}")
+
+    pairs = [(int(u), int(v)) for u, v in rng.integers(0, n, size=(200, 2))]
+    p2p_cold_us = _time_pairs(warm.distance_m, pairs)
+    p2p_warm_us = _time_pairs(warm.distance_m, pairs)
+
+    us = [int(x) for x in rng.integers(0, n, size=32)]
+    vs = [int(x) for x in rng.integers(0, n, size=64)]
+    start = time.perf_counter()
+    mat_cold = warm.cost_matrix(us, vs)
+    m2m_cold_us = (time.perf_counter() - start) / mat_cold.size * 1e6
+    start = time.perf_counter()
+    mat_warm = warm.cost_matrix(us, vs)
+    m2m_warm_us = (time.perf_counter() - start) / mat_warm.size * 1e6
+
+    # Equality spot-check against the scalar scipy backend.
+    lazy = ShortestPathEngine(net, mode="lazy")
+    start = time.perf_counter()
+    mat_lazy = lazy.cost_matrix(us, vs)
+    m2m_lazy_us = (time.perf_counter() - start) / mat_lazy.size * 1e6
+    exact = int(np.sum(mat_warm == mat_lazy))
+    if exact != mat_lazy.size:
+        raise SystemExit(
+            f"FAIL: ch/lazy m2m mismatch at side {side}: "
+            f"{mat_lazy.size - exact} of {mat_lazy.size} entries differ"
+        )
+
+    return {
+        "side": side,
+        "vertices": n,
+        "edges": ch.num_edges,
+        "shortcuts": ch.num_shortcuts,
+        "build_s": round(build_s, 2),
+        "warm_counters": counters,
+        "p2p_cold_us": round(p2p_cold_us, 2),
+        "p2p_warm_us": round(p2p_warm_us, 2),
+        "m2m_entries": int(mat_warm.size),
+        "m2m_cold_us_per_entry": round(m2m_cold_us, 3),
+        "m2m_warm_us_per_entry": round(m2m_warm_us, 3),
+        "m2m_lazy_us_per_entry": round(m2m_lazy_us, 3),
+        "m2m_exact_matches": exact,
+        "ch_memory_mb": round(ch.memory_bytes() / 1e6, 1),
+        "rss_mb": {"before": round(rss_before, 1), "after": round(_rss_mb(), 1)},
+    }
+
+
+# ----------------------------------------------------------------------
+# section 3: dense-table baseline and the 5x gate
+# ----------------------------------------------------------------------
+def run_dense_baseline() -> dict:
+    from repro.network.generators import grid_city
+    from repro.network.shortest_path import ShortestPathEngine
+
+    net = grid_city(rows=DENSE_SIDE, cols=DENSE_SIDE, spacing_m=180.0, seed=7)
+    eng = ShortestPathEngine(net, mode="full")
+    rng = np.random.default_rng(0)
+    us = [int(x) for x in rng.integers(0, net.num_vertices, size=32)]
+    vs = [int(x) for x in rng.integers(0, net.num_vertices, size=64)]
+    eng.cost_matrix(us, vs)  # touch the table once
+    start = time.perf_counter()
+    mat = eng.cost_matrix(us, vs)
+    per_entry_us = (time.perf_counter() - start) / mat.size * 1e6
+    return {
+        "vertices": net.num_vertices,
+        "m2m_us_per_entry": round(per_entry_us, 3),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    parser.add_argument("--quick", action="store_true",
+                        help="~10k vertices only, skip the dense gate")
+    parser.add_argument("--ci", action="store_true",
+                        help="~50k vertices only, with the dense gate")
+    parser.add_argument("--full", action="store_true",
+                        help="add the ~200k-vertex size")
+    parser.add_argument("--dense-factor", type=float, default=5.0,
+                        help="allowed warm m2m per-entry slowdown vs the dense table")
+    args = parser.parse_args()
+
+    if args.quick:
+        sides = QUICK_SIDES
+    elif args.ci:
+        sides = (224,)
+    elif args.full:
+        sides = FULL_SIDES
+    else:
+        sides = DEFAULT_SIDES
+
+    print("[1/3] lazy-vs-ch decision fingerprint ...", flush=True)
+    fingerprint = run_fingerprint()
+    print(f"      identical fingerprints: {fingerprint['ch_sha256'][:16]}...")
+
+    routing = []
+    with tempfile.TemporaryDirectory(prefix="pr7-ch-store-") as store_root:
+        for side in sides:
+            print(f"[2/3] routing on {side}x{side} grid ...", flush=True)
+            row = bench_size(side, store_root)
+            routing.append(row)
+            print(
+                f"      {row['vertices']:,} vertices: build {row['build_s']}s, "
+                f"{row['shortcuts']:,} shortcuts, p2p warm {row['p2p_warm_us']}us, "
+                f"m2m warm {row['m2m_warm_us_per_entry']}us/entry "
+                f"(lazy {row['m2m_lazy_us_per_entry']}us)"
+            )
+
+    report = {
+        "benchmark": "pr7_contraction_hierarchy_routing",
+        "contracts": os.environ.get("REPRO_CONTRACTS", ""),
+        "fingerprint": fingerprint,
+        "routing": routing,
+    }
+
+    if not args.quick:
+        print("[3/3] dense-table baseline ...", flush=True)
+        dense = run_dense_baseline()
+        largest = routing[-1]
+        ratio = largest["m2m_warm_us_per_entry"] / dense["m2m_us_per_entry"]
+        dense["gate"] = {
+            "largest_vertices": largest["vertices"],
+            "ratio": round(ratio, 2),
+            "allowed": args.dense_factor,
+            "met": ratio <= args.dense_factor,
+        }
+        report["dense_baseline"] = dense
+        print(
+            f"      dense {dense['m2m_us_per_entry']}us/entry at "
+            f"{dense['vertices']:,}V; ch warm is {ratio:.2f}x at "
+            f"{largest['vertices']:,}V (allowed {args.dense_factor}x)"
+        )
+        if not dense["gate"]["met"]:
+            raise SystemExit(
+                f"FAIL: warm m2m {ratio:.2f}x slower than the dense table "
+                f"(allowed {args.dense_factor}x)"
+            )
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -226,6 +226,37 @@ class ArtifactStore:
             out[kind_dir.name] = {"artifacts": count, "bytes": nbytes}
         return out
 
+    def entries(self, kind: str) -> list[dict]:
+        """Per-artifact detail of one kind: key, metadata, on-disk bytes.
+
+        Sorted by key for deterministic listings; unreadable metadata is
+        skipped (corrupt artifacts already count as load misses).  Used
+        by ``repro cache info`` to describe e.g. stored contraction
+        hierarchies (graph label, vertex count, size).
+        """
+        out: list[dict] = []
+        kind_dir = self.root / kind
+        if not kind_dir.is_dir():
+            return out
+        for meta_path in sorted(kind_dir.glob("*/*/meta.json")):
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            nbytes = sum(
+                f.stat().st_size
+                for f in sorted(meta_path.parent.iterdir())
+                if f.is_file()
+            )
+            out.append(
+                {
+                    "key": meta_path.parent.name,
+                    "bytes": nbytes,
+                    "meta": {k: v for k, v in meta.items() if k != "__arrays__"},
+                }
+            )
+        return out
+
     def clear(self) -> int:
         """Delete every stored artifact; returns the number removed."""
         removed = sum(v["artifacts"] for v in self.info().values())

@@ -63,6 +63,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--congestion", type=float, default=1.0,
                      help="speed factor; < 1 slows traffic")
     sim.add_argument("--seed", type=int, default=7)
+    sim.add_argument("--sp-mode", choices=("auto", "full", "lazy", "ch"),
+                     default="auto",
+                     help="shortest-path backend (auto resolves against "
+                          "REPRO_SP_MODE, then full below/ch above the "
+                          "dense-matrix vertex limit)")
     sim.add_argument("--trace", metavar="PATH", default=None,
                      help="append a structured JSONL event trace (stage "
                           "timings, dispatches, offline encounters) to PATH")
@@ -83,6 +88,16 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=("info", "warm", "clear"))
     cache.add_argument("--experiments", nargs="*", default=None, metavar="NAME",
                        help="experiments to warm artifacts for (default: all figures)")
+    cache.add_argument("--ch-grid", type=int, default=None, metavar="SIDE",
+                       help="warm: pre-build the contraction hierarchy for a "
+                            "SIDE x SIDE scenario network instead of warming "
+                            "experiment artifacts")
+    cache.add_argument("--kind", choices=("peak", "nonpeak"), default="peak",
+                       help="scenario kind for --ch-grid")
+    cache.add_argument("--spacing", type=float, default=180.0,
+                       help="grid spacing in metres for --ch-grid")
+    cache.add_argument("--seed", type=int, default=7,
+                       help="scenario seed for --ch-grid")
 
     sub.add_parser("list", help="list schemes, experiments, ablations")
 
@@ -104,6 +119,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "arrives through the service")
         p.add_argument("--partitions", type=int, default=25)
         p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--sp-mode", choices=("auto", "full", "lazy", "ch"),
+                       default="auto",
+                       help="shortest-path backend (see `repro simulate -h`)")
         p.add_argument("--max-in-flight", type=int, default=4096,
                        help="admission backpressure bound on queued requests")
         p.add_argument("--late-policy", choices=("reject", "clamp"), default="reject",
@@ -139,6 +157,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         num_partitions=args.partitions,
         congestion=args.congestion,
         seed=args.seed,
+        sp_mode=args.sp_mode,
     )
     scenario = get_scenario(spec)
     config = scenario.default_config(rho=args.rho, capacity=args.capacity)
@@ -205,10 +224,42 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         if info:
             print(f"  {'total':10s} {sum(r['artifacts'] for r in info.values()):4d} artifacts"
                   f"  {total / 1e6:8.2f} MB")
+        hierarchies = store.entries("ch")
+        if hierarchies:
+            print("\ncontraction hierarchies:")
+            for row in hierarchies:
+                meta = row["meta"]
+                label = meta.get("label", row["key"])
+                print(
+                    f"  {label:40s} {meta.get('vertices', '?'):>8} vertices"
+                    f"  {meta.get('shortcuts', '?'):>8} shortcuts"
+                    f"  {row['bytes'] / 1e6:8.2f} MB"
+                )
         return 0
     if args.action == "clear":
         removed = store.clear()
         print(f"removed {removed} artifacts from {store.root}")
+        return 0
+    if args.ch_grid is not None:
+        # warm --ch-grid: pre-build (or touch) one scenario's hierarchy.
+        spec = ScenarioSpec(
+            kind=args.kind,
+            grid_rows=args.ch_grid,
+            grid_cols=args.ch_grid,
+            spacing_m=args.spacing,
+            seed=args.seed,
+            sp_mode="ch",
+        )
+        print(f"Warming contraction hierarchy for {args.ch_grid}x{args.ch_grid} "
+              f"{args.kind} scenario (seed {args.seed})...")
+        scenario = get_scenario(spec)
+        hierarchy = scenario.engine.hierarchy
+        assert hierarchy is not None
+        state = "built" if scenario.engine.ch_built else "already stored"
+        print(f"  {scenario.network_label()}: {hierarchy.num_vertices} vertices, "
+              f"{hierarchy.num_shortcuts} shortcuts ({state})")
+        for kind, row in store.info().items():
+            print(f"  {kind:10s} {row['artifacts']:4d} artifacts  {row['bytes'] / 1e6:8.2f} MB")
         return 0
     # warm: build (or touch) every artifact the selected experiments need.
     names = args.experiments or None
@@ -235,6 +286,7 @@ def _make_service(args: argparse.Namespace) -> "DispatchService":
         history_days=3,
         num_partitions=args.partitions,
         seed=args.seed,
+        sp_mode=args.sp_mode,
     )
     scenario = get_scenario(spec)
     config = scenario.default_config(rho=args.rho, capacity=args.capacity)

@@ -510,10 +510,73 @@ def fig21_scalability(scale: BenchScale | None = None,
     return result
 
 
+# ----------------------------------------------------------------------
+# Fig. 21 companion — scalability with network size
+# ----------------------------------------------------------------------
+def fig21v_vertex_scalability(
+    scale: BenchScale | None = None,
+    grid_sides: tuple[int, ...] | None = None,
+) -> ExperimentResult:
+    """Fig. 21 companion: execution and response time versus |V|.
+
+    The paper's Fig. 21 grows the trace volume on a fixed road network;
+    this companion grows the *network* at a fixed workload — the axis
+    the contraction-hierarchy backend unlocks (a full APSP table needs
+    O(V^2) memory and dies around 20k vertices; ``mode="auto"`` flips
+    to ``ch`` above ``FULL_APSP_LIMIT``).  mT-Share runs with the
+    geometric partitioner (k-means over coordinates stays tractable at
+    hundreds of thousands of vertices, unlike the bipartite fixed
+    point) over one evaluation hour per size.
+    """
+    scale = scale or bench_scale()
+    if grid_sides is None:
+        # quick: one full-mode grid and one past the auto ch cutover;
+        # full: ~10k, ~50k and ~200k vertices.
+        grid_sides = (40, 90) if scale.name == "quick" else (100, 224, 448)
+    from ..sim.engine import Simulator
+
+    vertices = []
+    exec_times = []
+    responses = []
+    modes = []
+    for side in grid_sides:
+        spec = ScenarioSpec(
+            kind="peak",
+            grid_rows=side,
+            grid_cols=side,
+            spacing_m=180.0,
+            hourly_requests=min(scale.peak.hourly_requests, 400),
+            history_days=2,
+            offline_count=40,
+            num_partitions=16,
+            seed=7,
+        )
+        scenario = get_scenario(spec)
+        vertices.append(scenario.network.num_vertices)
+        modes.append(scenario.engine.mode)
+        requests = scenario.requests()
+        scheme = scenario.make_scheme("mt-share", partition_method="geo")
+        fleet = scenario.make_fleet(min(scale.default_taxis, 120))
+        start = time.perf_counter()  # repro-lint: disable=REP003 reason=Fig. 21 reports measured execution time
+        metrics = Simulator(scheme, fleet, requests).run()
+        exec_times.append(round(time.perf_counter() - start, 2))  # repro-lint: disable=REP003 reason=Fig. 21 reports measured execution time
+        responses.append(round(metrics.avg_response_ms, 3))
+    result = ExperimentResult(
+        title="Fig. 21 companion: scalability with network size (mT-Share, geo)",
+        x_label="vertices",
+        x_values=vertices,
+        y_label="value",
+    )
+    result.add_series("execution_s", exec_times)
+    result.add_series("response_ms", responses)
+    result.add_series("sp_mode", modes)
+    return result
+
+
 #: Experiments that do not route their work through :func:`run` (they
 #: read the trace or drive the simulator directly), so a planning pass
 #: over them yields nothing to parallelise.
-NON_RUN_FIGURES = frozenset({"fig5", "fig21"})
+NON_RUN_FIGURES = frozenset({"fig5", "fig21", "fig21v"})
 
 
 def figure_run_keys(
@@ -563,4 +626,5 @@ ALL_EXPERIMENTS = {
     "fig19": fig19_rho_payment,
     "fig20": fig20_lambda,
     "fig21": fig21_scalability,
+    "fig21v": fig21v_vertex_scalability,
 }

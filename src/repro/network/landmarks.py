@@ -170,13 +170,15 @@ class LandmarkGraph:
         return [tuple(sorted(neigh)) for neigh in adjacency]
 
     def _build_landmark_costs(self) -> np.ndarray:
-        speed = self._network.speed_mps
-        k = len(self._landmarks)
-        cost = np.empty((k, k), dtype=np.float64)
-        for i, li in enumerate(self._landmarks):
-            dist = self._engine.distances_from(li)
-            cost[i, :] = dist[self._landmarks] / speed
-        return cost
+        # One batched many-to-many query instead of kappa single-source
+        # trees: full/lazy modes slice or gather exactly the same rows
+        # (values bit-identical to the old per-landmark loop), and the
+        # ch backend answers it with one bucket-based sweep instead of
+        # kappa full Dijkstras (see repro.network.ch).
+        return np.asarray(
+            self._engine.cost_matrix(self._landmarks, self._landmarks),
+            dtype=np.float64,
+        )
 
     # ------------------------------------------------------------------
     @property

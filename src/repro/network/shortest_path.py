@@ -6,7 +6,13 @@ so that a shortest-path query costs O(1) during matching (Section V-A4).
 builds the full all-pairs matrix with scipy's C Dijkstra; on larger
 graphs it falls back to per-source computation with an LRU-style cache,
 which keeps memory bounded while staying fast for the skewed query
-distributions a dispatcher generates.
+distributions a dispatcher generates.  Above :data:`FULL_APSP_LIMIT`
+the default is now the contraction-hierarchy backend (``mode="ch"``,
+:mod:`repro.network.ch`): near-constant point-to-point and bucket-based
+many-to-many queries with rectified, bit-identical distances, and a
+persisted hierarchy so warm runs skip preprocessing.  The
+``REPRO_SP_MODE`` environment variable overrides the ``"auto"``
+resolution (see :data:`SP_MODE_ENV`).
 
 :func:`dijkstra_restricted` is the segment-level router used by both
 basic routing (Algorithm 3) and probabilistic routing (Algorithm 4): a
@@ -24,6 +30,7 @@ tests diff against.
 from __future__ import annotations
 
 import heapq
+import os
 from collections import OrderedDict
 from collections.abc import Callable, Collection, Mapping, Sequence
 
@@ -31,10 +38,37 @@ import numpy as np
 from scipy import sparse
 from scipy.sparse import csgraph
 
+from .ch import ContractionHierarchy
 from .graph import RoadNetwork
 
 #: Above this vertex count the full all-pairs matrix is not materialised.
 FULL_APSP_LIMIT = 6_000
+
+#: Environment override for ``mode="auto"`` resolution: one of
+#: ``full`` / ``lazy`` / ``ch`` (empty or ``auto`` keeps the default
+#: rule).  Explicit non-auto ``mode=`` arguments always win.
+SP_MODE_ENV = "REPRO_SP_MODE"
+
+_SP_MODES = ("full", "lazy", "ch")
+
+
+def resolve_sp_mode(mode: str, num_vertices: int) -> str:
+    """Resolve an engine mode string against the env override and size rule.
+
+    ``"auto"`` consults :data:`SP_MODE_ENV` first, then picks ``full``
+    at or below :data:`FULL_APSP_LIMIT` vertices and ``ch`` above it.
+    """
+    if mode == "auto":
+        env = os.environ.get(SP_MODE_ENV, "").strip().lower()
+        if env in _SP_MODES:
+            mode = env
+        elif env and env != "auto":
+            raise ValueError(f"invalid {SP_MODE_ENV}={env!r}; use auto/full/lazy/ch")
+    if mode == "auto":
+        mode = "full" if num_vertices <= FULL_APSP_LIMIT else "ch"
+    if mode not in _SP_MODES:
+        raise ValueError(f"unknown mode {mode!r}")
+    return mode
 
 #: Default number of per-source Dijkstra results kept by the lazy cache.
 LAZY_CACHE_SIZE = 4_096
@@ -58,17 +92,30 @@ class ShortestPathEngine:
         The road network to route on.
     mode:
         ``"full"`` precomputes the all-pairs matrix up front, ``"lazy"``
-        computes single-source trees on demand, ``"auto"`` (default)
-        picks ``"full"`` below :data:`FULL_APSP_LIMIT` vertices.
+        computes single-source trees on demand, ``"ch"`` builds (or
+        attaches) a contraction hierarchy (:mod:`repro.network.ch`),
+        ``"auto"`` (default) picks ``"full"`` at or below
+        :data:`FULL_APSP_LIMIT` vertices and ``"ch"`` above — unless
+        the :data:`SP_MODE_ENV` environment variable overrides it.
     cache_size:
-        Number of source trees retained in ``"lazy"`` mode.
+        Number of source trees retained by the per-source row cache
+        (the primary store in ``"lazy"`` mode; the row-query fallback
+        in ``"ch"`` mode).
     full_arrays:
         Optional precomputed ``(dist, pred)`` matrices for ``"full"``
         mode — typically memory-mapped ``.npy`` views served by the
         artifact store (:mod:`repro.artifacts`), so concurrent sweep
         workers share pages zero-copy instead of each running (and
-        holding) its own all-pairs Dijkstra.  Ignored in lazy mode.
+        holding) its own all-pairs Dijkstra.  Ignored in other modes.
+    ch_arrays:
+        Optional persisted hierarchy arrays for ``"ch"`` mode (the
+        artifact-store warm path; usually mmapped).  Ignored in other
+        modes.
     """
+
+    #: ``stats()`` keys that are point-in-time gauges; every other key
+    #: is a monotone tally that harvesters should turn into a delta.
+    STAT_GAUGES = frozenset({"spe.cache_entries", "sp.ch.shortcuts"})
 
     def __init__(
         self,
@@ -76,11 +123,11 @@ class ShortestPathEngine:
         mode: str = "auto",
         cache_size: int = LAZY_CACHE_SIZE,
         full_arrays: tuple[np.ndarray, np.ndarray] | None = None,
+        ch_arrays: Mapping[str, np.ndarray] | None = None,
     ) -> None:
-        if mode not in ("auto", "full", "lazy"):
+        if mode not in ("auto", "full", "lazy", "ch"):
             raise ValueError(f"unknown mode {mode!r}")
-        if mode == "auto":
-            mode = "full" if network.num_vertices <= FULL_APSP_LIMIT else "lazy"
+        mode = resolve_sp_mode(mode, network.num_vertices)
         self._network = network
         self._mode = mode
         self._cache_size = cache_size
@@ -100,6 +147,20 @@ class ShortestPathEngine:
         self.full_built = False
         #: Whether the full matrices are memory-mapped (zero-copy).
         self.full_mmapped = False
+        #: The contraction hierarchy backing ``"ch"`` mode, if any.
+        self._ch: ContractionHierarchy | None = None
+        #: Whether this engine contracted the hierarchy itself (False
+        #: when the arrays were injected from the artifact store).
+        self.ch_built = False
+        #: Whether the hierarchy arrays are memory-mapped (zero-copy).
+        self.ch_mmapped = False
+        if mode == "ch":
+            if ch_arrays is not None:
+                self._ch = ContractionHierarchy.from_arrays(network, ch_arrays)
+                self.ch_mmapped = self._ch.is_mmapped()
+            else:
+                self._ch = ContractionHierarchy.build(network)
+                self.ch_built = True
         if mode == "full":
             if full_arrays is not None:
                 dist, pred = full_arrays
@@ -124,8 +185,13 @@ class ShortestPathEngine:
 
     @property
     def mode(self) -> str:
-        """``"full"`` or ``"lazy"``."""
+        """``"full"``, ``"lazy"`` or ``"ch"``."""
         return self._mode
+
+    @property
+    def hierarchy(self) -> ContractionHierarchy | None:
+        """The contraction hierarchy (``"ch"`` mode only), else ``None``."""
+        return self._ch
 
     def _build_full(self) -> None:
         mat = self._network.to_csr()
@@ -164,6 +230,8 @@ class ShortestPathEngine:
         """
         if u == v:
             return 0.0
+        if self._ch is not None:
+            return self._ch.distance_m(u, v)
         dist, _ = self._source_tree(u)
         return float(dist[v])
 
@@ -188,6 +256,8 @@ class ShortestPathEngine:
         are ``inf``.
         """
         vs = np.asarray(vs, dtype=np.int64)
+        if self._ch is not None:
+            return self._ch.cost_matrix_m([u], vs.tolist())[0] / self._network.speed_mps
         dist, _ = self._source_tree(u)
         return dist[vs] / self._network.speed_mps
 
@@ -203,6 +273,8 @@ class ShortestPathEngine:
         us = np.asarray(us, dtype=np.int64)
         vs = np.asarray(vs, dtype=np.int64)
         speed = self._network.speed_mps
+        if self._ch is not None:
+            return self._ch.cost_matrix_m(us.tolist(), vs.tolist()) / speed
         if self._mode == "full":
             assert self._dist is not None
             self.cache_hits += us.size
@@ -221,6 +293,11 @@ class ShortestPathEngine:
         """
         if u == v:
             return [u]
+        if self._ch is not None:
+            found = self._ch.path(u, v)
+            if found is None:
+                raise PathNotFound(f"no path from {u} to {v}")
+            return found
         dist, pred = self._source_tree(u)
         if not np.isfinite(dist[v]):
             raise PathNotFound(f"no path from {u} to {v}")
@@ -238,9 +315,12 @@ class ShortestPathEngine:
         This is the zero-copy primitive behind the small-batch fast
         paths: callers hold the row and read single entries with
         ``row.item(v)``, which matches :meth:`distance_m` bit for bit
-        (``row.item(v) / speed`` equals :meth:`cost`).  Works in both
-        modes; lazy mode computes/caches the source tree on demand.
-        Treat the row as read-only.
+        (``row.item(v) / speed`` equals :meth:`cost`).  Works in every
+        mode; lazy and ch modes compute/cache the source tree on demand
+        (full rows are the one query shape a hierarchy does not
+        accelerate, so ``ch`` serves them from the same per-source LRU
+        as lazy mode — values identical either way).  Treat the row as
+        read-only.
         """
         dist, _ = self._source_tree(source)
         return dist
@@ -284,12 +364,30 @@ class ShortestPathEngine:
         return len(self._lazy)
 
     def cache_stats(self) -> dict[str, int]:
-        """Hit/miss/size snapshot for the observability layer."""
+        """Hit/miss/size snapshot of the per-source row cache."""
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
             "entries": len(self._lazy),
         }
+
+    def stats(self) -> dict[str, int]:
+        """Every engine counter under its fully-qualified metric name.
+
+        The single harvesting surface for the observability layer: the
+        simulator snapshots this at run start and gauges the deltas at
+        run end (keys in :data:`STAT_GAUGES` are point-in-time values
+        and are reported as-is).  Contains ``spe.cache_*`` always and
+        ``sp.ch.*`` in ``"ch"`` mode.
+        """
+        out = {
+            "spe.cache_hits": self.cache_hits,
+            "spe.cache_misses": self.cache_misses,
+            "spe.cache_entries": len(self._lazy),
+        }
+        if self._ch is not None:
+            out.update(self._ch.stats_snapshot())
+        return out
 
     def full_matrices(self) -> tuple[np.ndarray, np.ndarray] | None:
         """The ``(dist, pred)`` all-pairs matrices, or ``None`` in lazy mode.
@@ -300,6 +398,16 @@ class ShortestPathEngine:
         if self._dist is None or self._pred is None:
             return None
         return self._dist, self._pred
+
+    def hierarchy_arrays(self) -> dict[str, np.ndarray] | None:
+        """The hierarchy's named arrays, or ``None`` outside ``"ch"`` mode.
+
+        Used by the artifact store to persist a freshly contracted
+        hierarchy; treat the arrays as read-only.
+        """
+        if self._ch is None:
+            return None
+        return self._ch.to_arrays()
 
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the cached structures.
@@ -313,16 +421,22 @@ class ShortestPathEngine:
             total += self._dist.nbytes
         if self._pred is not None:
             total += self._pred.nbytes
+        if self._ch is not None:
+            total += self._ch.memory_bytes()
         for dist, pred in self._lazy.values():
             total += dist.nbytes + pred.nbytes
         return total
 
     def mmap_bytes(self) -> int:
         """Bytes of the footprint that are memory-mapped (file-backed)."""
-        if not self.full_mmapped:
-            return 0
-        assert self._dist is not None and self._pred is not None
-        return self._dist.nbytes + self._pred.nbytes
+        total = 0
+        if self.full_mmapped:
+            assert self._dist is not None and self._pred is not None
+            total += self._dist.nbytes + self._pred.nbytes
+        if self.ch_mmapped:
+            assert self._ch is not None
+            total += self._ch.memory_bytes()
+        return total
 
 
 class _InducedSubgraph:

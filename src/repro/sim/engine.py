@@ -185,7 +185,7 @@ class Simulator:
         self._last_release = 0.0
         self._streaming = False
         self._wall_start = 0.0
-        self._cache_base: tuple[int, int, dict[str, int]] | None = None
+        self._stats_base: tuple[dict[str, int], dict[str, int]] | None = None
         self._compact = bool(compact)
         if self._compact:
             self._metrics.sample_cap = COMPACT_SAMPLE_CAP
@@ -663,9 +663,9 @@ class Simulator:
         """Prepare metrics baselines and the fleet for event dispatch."""
         self._wall_start = time.perf_counter()  # repro-lint: disable=REP003 reason=wall_time_s metric only, never a decision input
         # The engine may be shared across runs (scenarios memoise it), so
-        # cache statistics are reported as this run's delta.
+        # engine statistics are reported as this run's delta.
         engine = self._scheme.engine
-        self._cache_base = (engine.cache_hits, engine.cache_misses, subgraph_cache_stats())
+        self._stats_base = (engine.stats(), subgraph_cache_stats())
         if count_population:
             self._metrics.num_requests = len(self._requests)
             self._metrics.num_online = sum(1 for r in self._requests if not r.offline)
@@ -758,11 +758,16 @@ class Simulator:
             self._obs.event("unsettled_episode", taxi=tid, t=self._now)
 
         engine = self._scheme.engine
-        cache_hits0, cache_misses0, subgraph0 = self._cache_base or (0, 0, subgraph_cache_stats())
+        stats_base, subgraph0 = self._stats_base or ({}, subgraph_cache_stats())
         obs = self._obs
-        obs.gauge("spe.cache_hits", engine.cache_hits - cache_hits0)
-        obs.gauge("spe.cache_misses", engine.cache_misses - cache_misses0)
-        obs.gauge("spe.cache_entries", engine.lazy_cache_len)
+        # One harvesting surface for every engine counter (spe.cache_* in
+        # all modes, sp.ch.* for the hierarchy backend): monotone tallies
+        # become this run's delta, gauge-like keys are reported as-is.
+        for key, value in engine.stats().items():
+            if key in engine.STAT_GAUGES:
+                obs.gauge(key, value)
+            else:
+                obs.gauge(key, value - stats_base.get(key, 0))
         subgraph = subgraph_cache_stats()
         obs.gauge("kernel.subgraph_hits", subgraph["hits"] - subgraph0["hits"])
         obs.gauge("kernel.subgraph_builds", subgraph["builds"] - subgraph0["builds"])

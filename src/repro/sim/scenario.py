@@ -40,7 +40,8 @@ from ..fleet.taxi import Taxi
 from ..network.generators import grid_city
 from ..network.graph import RoadNetwork
 from ..network.landmarks import LandmarkGraph
-from ..network.shortest_path import FULL_APSP_LIMIT, ShortestPathEngine
+from ..network.ch import CH_FORMAT_VERSION
+from ..network.shortest_path import ShortestPathEngine, resolve_sp_mode
 from ..partitioning.bipartite import MapPartitioning, bipartite_partition, geo_partition
 from ..partitioning.grid import grid_partition
 
@@ -73,12 +74,19 @@ class ScenarioSpec:
     num_partitions: int = 36
     congestion: float = 1.0
     seed: int = 7
+    #: Shortest-path backend: ``"auto"`` (default; resolved against the
+    #: ``REPRO_SP_MODE`` env override and the vertex-count rule at build
+    #: time), ``"full"``, ``"lazy"`` or ``"ch"``.  Not part of the
+    #: network spec, so all backends share trace/partition artifacts.
+    sp_mode: str = "auto"
 
     def __post_init__(self) -> None:
         if self.kind not in ("peak", "nonpeak"):
             raise ValueError("kind must be 'peak' or 'nonpeak'")
         if self.congestion <= 0:
             raise ValueError("congestion must be a positive speed factor")
+        if self.sp_mode not in ("auto", "full", "lazy", "ch"):
+            raise ValueError("sp_mode must be auto, full, lazy or ch")
 
     @property
     def window(self) -> tuple[int, int, bool]:
@@ -152,25 +160,64 @@ class Scenario:
         self._partitionings: dict[tuple, object] = {}
 
     def _build_engine(self, store: artifacts.ArtifactStore | None) -> ShortestPathEngine:
-        """Shortest-path engine, loading full APSP matrices from the store.
+        """Shortest-path engine, loading preprocessing from the store.
 
-        On a warm store the dist/pred matrices are memory-mapped
+        The spec's ``sp_mode`` is resolved first (``"auto"`` consults
+        the ``REPRO_SP_MODE`` env override, then picks ``full`` for
+        small grids and ``ch`` above ``FULL_APSP_LIMIT``).  Full mode
+        persists/loads the APSP matrices; ch mode persists/loads the
+        contraction hierarchy.  On a warm store both are memory-mapped
         (zero-copy: pages are shared between concurrent workers by the
         OS cache) instead of being recomputed.
         """
-        if store is None or self.network.num_vertices > FULL_APSP_LIMIT:
-            return ShortestPathEngine(self.network)
+        mode = resolve_sp_mode(self.spec.sp_mode, self.network.num_vertices)
+        if mode == "lazy" or store is None:
+            return ShortestPathEngine(self.network, mode=mode)
+        if mode == "ch":
+            key = store.key_of("ch", self._ch_spec())
+            art = store.load("ch", key)
+            if art is not None:
+                return ShortestPathEngine(
+                    self.network, mode="ch", ch_arrays=dict(art.arrays)
+                )
+            engine = ShortestPathEngine(self.network, mode="ch")
+            arrays = engine.hierarchy_arrays()
+            assert arrays is not None
+            hierarchy = engine.hierarchy
+            assert hierarchy is not None
+            store.save(
+                "ch",
+                key,
+                arrays,
+                meta={
+                    "label": self.network_label(),
+                    "vertices": self.network.num_vertices,
+                    "edges": hierarchy.num_edges,
+                    "shortcuts": hierarchy.num_shortcuts,
+                    "build_seconds": round(hierarchy.build_seconds, 3),
+                },
+            )
+            return engine
         key = store.key_of("apsp", self._network_spec)
         art = store.load("apsp", key)
         if art is not None:
             return ShortestPathEngine(
                 self.network, mode="full", full_arrays=(art["dist"], art["pred"])
             )
-        engine = ShortestPathEngine(self.network)
+        engine = ShortestPathEngine(self.network, mode="full")
         mats = engine.full_matrices()
         if mats is not None:
             store.save("apsp", key, {"dist": mats[0], "pred": mats[1]}, meta=self._network_spec)
         return engine
+
+    def _ch_spec(self) -> dict:
+        """Artifact-store key spec for the contraction hierarchy."""
+        return {"network": self._network_spec, "format": CH_FORMAT_VERSION}
+
+    def network_label(self) -> str:
+        """Human-readable graph label used in artifact metadata / CLI."""
+        s = self.spec
+        return f"grid_city {s.grid_rows}x{s.grid_cols} spacing={s.spacing_m:g} seed={s.seed}"
 
     def _build_trace(self, store: artifacts.ArtifactStore | None, num_days: int) -> TripDataset:
         """The full synthetic trace, persisted across processes.

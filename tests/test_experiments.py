@@ -121,6 +121,6 @@ class TestFigures:
             "fig5", "fig6", "fig7", "table3", "fig8", "fig9",
             "fig10", "fig11", "fig12", "fig13", "table4",
             "fig14a", "fig14b", "table5", "fig15", "fig16",
-            "fig17", "fig18", "fig19", "fig20", "fig21",
+            "fig17", "fig18", "fig19", "fig20", "fig21", "fig21v",
         }
         assert set(figures.ALL_EXPERIMENTS) == expected

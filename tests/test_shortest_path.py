@@ -4,17 +4,40 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.network.ch import ContractionHierarchy
 from repro.network.graph import RoadNetwork
 from repro.network.shortest_path import (
+    SP_MODE_ENV,
     PathNotFound,
     ShortestPathEngine,
     dijkstra_restricted,
+    resolve_sp_mode,
 )
 
 
 @pytest.fixture(scope="module")
 def lazy_engine(small_net):
     return ShortestPathEngine(small_net, mode="lazy", cache_size=8)
+
+
+@pytest.fixture(scope="module")
+def ch_engine(small_net):
+    return ShortestPathEngine(small_net, mode="ch")
+
+
+def _random_network(seed, n=36, num_edges=90, zero_frac=0.0):
+    """A random directed network; sparse enough to leave some vertex
+    pairs disconnected, optionally with exact zero-weight edges."""
+    rng = np.random.default_rng(seed)
+    xy = rng.uniform(0.0, 1000.0, size=(n, 2))
+    edges = []
+    while len(edges) < num_edges:
+        u, v = (int(x) for x in rng.integers(0, n, size=2))
+        if u == v:
+            continue
+        w = 0.0 if rng.random() < zero_frac else float(rng.uniform(1.0, 500.0))
+        edges.append((u, v, w))
+    return RoadNetwork(xy, edges)
 
 
 class TestEngineBasics:
@@ -81,6 +104,203 @@ class TestLazyMode:
 
     def test_auto_mode_selects_full_for_small(self, tiny_net):
         assert ShortestPathEngine(tiny_net, mode="auto").mode == "full"
+
+
+class TestCHMode:
+    """The contraction-hierarchy backend must be observationally
+    identical to the scalar/scipy reference engines."""
+
+    def test_bitwise_equal_to_full(self, small_net, small_engine, ch_engine):
+        us = list(range(small_net.num_vertices))
+        got = ch_engine.cost_matrix(us, us)
+        want = small_engine.cost_matrix(us, us)
+        assert np.array_equal(got, want)
+
+    def test_pointwise_equal_to_lazy(self, small_net, lazy_engine, ch_engine):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            u, v = (int(x) for x in rng.integers(0, small_net.num_vertices, size=2))
+            assert ch_engine.distance_m(u, v) == lazy_engine.distance_m(u, v)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_graphs_match_scalar(self, seed):
+        net = _random_network(seed)
+        ch = ShortestPathEngine(net, mode="ch")
+        ref = ShortestPathEngine(net, mode="lazy")
+        rng = np.random.default_rng(seed + 100)
+        for _ in range(60):
+            u, v = (int(x) for x in rng.integers(0, net.num_vertices, size=2))
+            want = ref.distance_m(u, v)
+            got = ch.distance_m(u, v)
+            if np.isinf(want):
+                assert np.isinf(got)
+            else:
+                # Random graphs can hold equal-length alternatives; both
+                # answers are then shortest, but their float sums may
+                # differ in the last ulp.
+                assert got == pytest.approx(want, rel=1e-12, abs=1e-9)
+
+    def test_zero_weight_edges(self):
+        net = _random_network(7, zero_frac=0.3)
+        ch = ShortestPathEngine(net, mode="ch")
+        ref = ShortestPathEngine(net, mode="lazy")
+        for u in range(0, net.num_vertices, 3):
+            got = ch.cost_many(u, np.arange(net.num_vertices))
+            want = ref.cost_many(u, np.arange(net.num_vertices))
+            assert got == pytest.approx(want, rel=1e-12, abs=1e-9, nan_ok=False)
+
+    def test_disconnected_components(self):
+        # Two 2-cliques with no edges between them.
+        net = RoadNetwork(
+            [(0, 0), (100, 0), (5000, 0), (5100, 0)],
+            [(0, 1), (1, 0), (2, 3), (3, 2)],
+        )
+        eng = ShortestPathEngine(net, mode="ch")
+        assert eng.distance_m(0, 1) == pytest.approx(100.0)
+        assert eng.distance_m(0, 2) == np.inf
+        assert not eng.reachable(3, 1)
+        with pytest.raises(PathNotFound):
+            eng.path(0, 3)
+        # Batched queries agree with the scalar ones.
+        mat = eng.cost_matrix([0, 2], [1, 3])
+        assert np.isfinite(mat[0, 0]) and np.isfinite(mat[1, 1])
+        assert np.isinf(mat[0, 1]) and np.isinf(mat[1, 0])
+
+    def test_cost_matrix_batched_equals_looped(self, small_net, ch_engine):
+        rng = np.random.default_rng(3)
+        us = [int(x) for x in rng.integers(0, small_net.num_vertices, size=8)]
+        vs = [int(x) for x in rng.integers(0, small_net.num_vertices, size=11)]
+        batched = ch_engine.cost_matrix(us, vs)
+        for i, u in enumerate(us):
+            for j, v in enumerate(vs):
+                assert batched[i, j] == ch_engine.cost(u, v)
+
+    def test_warm_matrix_tiers(self, small_net):
+        eng = ShortestPathEngine(small_net, mode="ch")
+        rng = np.random.default_rng(8)
+        us = [int(x) for x in rng.integers(0, small_net.num_vertices, size=5)]
+        vs = [int(x) for x in rng.integers(0, small_net.num_vertices, size=9)]
+        cold = eng.cost_matrix(us, vs)
+        identical = eng.cost_matrix(us, vs)  # result-matrix LRU
+        shuffled = eng.cost_matrix(us, list(reversed(vs)))  # memo row fill
+        assert np.array_equal(identical, cold)
+        assert np.array_equal(shuffled, cold[:, ::-1])
+        stats = eng.stats()
+        assert stats["sp.ch.mat_hits"] >= 1
+        assert stats["sp.ch.memo_hits"] >= len(us) * len(vs)
+
+    def test_cost_many_matches_full(self, small_net, small_engine, ch_engine):
+        vs = np.arange(small_net.num_vertices)
+        assert np.array_equal(ch_engine.cost_many(17, vs), small_engine.cost_many(17, vs))
+
+    def test_paths_valid_with_matching_cost(self, small_net, ch_engine, small_engine):
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            u, v = (int(x) for x in rng.integers(0, small_net.num_vertices, size=2))
+            path = ch_engine.path(u, v)
+            assert path[0] == u and path[-1] == v
+            assert small_net.is_path(path)
+            assert small_net.path_length_m(path) == pytest.approx(
+                small_engine.distance_m(u, v)
+            )
+
+    def test_dist_row_matches_full(self, small_engine, ch_engine):
+        assert np.array_equal(ch_engine.dist_row(42), small_engine.dist_row(42))
+        assert ch_engine.dist_col(42) is None
+
+    def test_stats_keys(self, small_net):
+        eng = ShortestPathEngine(small_net, mode="ch")
+        eng.distance_m(0, 57)
+        stats = eng.stats()
+        for key in ("spe.cache_hits", "spe.cache_misses", "spe.cache_entries",
+                    "sp.ch.queries", "sp.ch.shortcuts"):
+            assert key in stats
+        assert stats["sp.ch.queries"] >= 1
+        assert stats["sp.ch.shortcuts"] == eng.hierarchy.num_shortcuts
+        assert "sp.ch.shortcuts" in eng.STAT_GAUGES
+
+    def test_mode_resolution(self, monkeypatch):
+        monkeypatch.delenv(SP_MODE_ENV, raising=False)
+        assert resolve_sp_mode("auto", 100) == "full"
+        assert resolve_sp_mode("auto", 50_000) == "ch"
+        assert resolve_sp_mode("lazy", 50_000) == "lazy"
+        monkeypatch.setenv(SP_MODE_ENV, "ch")
+        assert resolve_sp_mode("auto", 100) == "ch"
+        assert resolve_sp_mode("full", 100) == "full"  # explicit beats env
+        monkeypatch.setenv(SP_MODE_ENV, "bogus")
+        with pytest.raises(ValueError):
+            resolve_sp_mode("auto", 100)
+
+
+class TestCHArtifacts:
+    """The hierarchy must round-trip through arrays deterministically."""
+
+    def test_build_deterministic(self, tiny_net):
+        a = ContractionHierarchy.build(tiny_net).to_arrays()
+        b = ContractionHierarchy.build(tiny_net).to_arrays()
+        assert sorted(a) == sorted(b)
+        for name in a:
+            assert np.array_equal(a[name], b[name]), name
+
+    def test_round_trip_queries_identical(self, small_net):
+        cold = ContractionHierarchy.build(small_net)
+        warm = ContractionHierarchy.from_arrays(small_net, cold.to_arrays())
+        rng = np.random.default_rng(9)
+        for _ in range(40):
+            u, v = (int(x) for x in rng.integers(0, small_net.num_vertices, size=2))
+            assert cold.distance_m(u, v) == warm.distance_m(u, v)
+        us = [int(x) for x in rng.integers(0, small_net.num_vertices, size=6)]
+        assert np.array_equal(cold.cost_matrix_m(us, us), warm.cost_matrix_m(us, us))
+
+    def test_engine_warm_flags(self, tiny_net):
+        cold = ShortestPathEngine(tiny_net, mode="ch")
+        assert cold.ch_built and not cold.ch_mmapped
+        arrays = cold.hierarchy_arrays()
+        warm = ShortestPathEngine(tiny_net, mode="ch", ch_arrays=arrays)
+        assert not warm.ch_built
+        assert warm.distance_m(0, 8) == cold.distance_m(0, 8)
+
+    def test_scenario_warm_store(self, tmp_path, monkeypatch):
+        from repro.artifacts import get_store
+        from repro.sim.scenario import Scenario, ScenarioSpec
+
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        spec = ScenarioSpec(
+            kind="peak",
+            grid_rows=8,
+            grid_cols=8,
+            spacing_m=150.0,
+            hourly_requests=50,
+            history_days=1,
+            num_partitions=4,
+            offline_count=5,
+            seed=2,
+            sp_mode="ch",
+        )
+        store = get_store()
+        store.reset_stats()
+        cold = Scenario(spec)
+        assert cold.engine.ch_built
+        assert store.stats()["ch"]["builds"] == 1
+
+        store.reset_stats()
+        warm = Scenario(spec)
+        st = store.stats()["ch"]
+        assert st["builds"] == 0
+        assert st["mmap_loads"] >= 1
+        assert not warm.engine.ch_built and warm.engine.ch_mmapped
+        assert warm.engine.mmap_bytes() > 0
+        # Same content key regardless of which process computes it.
+        key = store.key_of("ch", cold._ch_spec())
+        assert key == store.key_of("ch", warm._ch_spec())
+        entries = store.entries("ch")
+        assert len(entries) == 1 and entries[0]["key"] == key
+        assert entries[0]["meta"]["vertices"] == cold.network.num_vertices
+        # Warm and cold engines answer identically.
+        rng = np.random.default_rng(4)
+        for _ in range(25):
+            u, v = (int(x) for x in rng.integers(0, cold.network.num_vertices, size=2))
+            assert cold.engine.distance_m(u, v) == warm.engine.distance_m(u, v)
 
 
 class TestDijkstraRestricted:
