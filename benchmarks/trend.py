@@ -1,0 +1,202 @@
+"""Performance trajectory across the stacked PRs (BENCH_PR*.json).
+
+Every perf PR leaves a machine-readable report behind
+(``BENCH_PR2.json`` .. ``BENCH_PR8.json``); this tool folds them into
+one table so the repo's performance story is readable at a glance —
+headline wall time, per-request dispatch cost where the report carries
+one, and whether the PR's own hard gates passed.  The schemas differ
+per PR (each benchmark measures what its PR changed), so extraction is
+per-report and tolerant: a metric a report does not carry prints as
+``-``, never as a crash.
+
+Usage::
+
+    python benchmarks/trend.py            # table over ./BENCH_PR*.json
+    python benchmarks/trend.py --dir path/to/reports
+
+Linked from docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+
+
+def _get(d: dict, *path, default=None):
+    """``d[path[0]][path[1]]...`` with ``default`` on any miss."""
+    cur = d
+    for key in path:
+        if not isinstance(cur, dict) or key not in cur:
+            return default
+        cur = cur[key]
+    return cur
+
+
+def _fmt(value, suffix="") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:,.2f}{suffix}"
+    return f"{value}{suffix}"
+
+
+def _row_pr2(d: dict) -> dict:
+    runs = _get(d, "post", "profile_runs", default=[])
+    best = min(runs, key=lambda r: r.get("wall_s", float("inf"))) if runs else {}
+    requests = best.get("requests") or 0
+    dispatch = _get(best, "stages", "sim.dispatch", "total_s")
+    return {
+        "headline": "batched insertion kernels",
+        "wall_s": best.get("wall_s"),
+        "dispatch_ms_per_req": (
+            1e3 * dispatch / requests if dispatch and requests else None
+        ),
+        "gates": "pass" if d.get("decisions_unchanged") else "FAIL",
+        "note": (
+            "dispatch speedup x"
+            f"{_fmt(_get(d, 'speedup', 'sim_dispatch_mean_per_request'))}"
+        ),
+    }
+
+
+def _row_pr3(d: dict) -> dict:
+    cold = _get(d, "cells", "cold_workers1", "wall_s")
+    warm = _get(d, "cells", "warm_workers4", "wall_s")
+    return {
+        "headline": "artifact store + parallel sweeps",
+        "wall_s": warm if warm is not None else cold,
+        "dispatch_ms_per_req": None,
+        "gates": "pass" if d.get("metrics_identical") else "FAIL",
+        "note": f"warm4 vs cold1 x{_fmt(d.get('speedup_warm4_vs_cold1'))}",
+    }
+
+
+def _row_pr6(d: dict) -> dict:
+    p50 = _get(d, "soak", "decision_latency_ms", "p50")
+    ok = bool(_get(d, "equivalence", "identical")) and bool(_get(d, "soak", "slo_met"))
+    return {
+        "headline": "event kernel + streaming service",
+        "wall_s": _get(d, "soak", "wall_s"),
+        "dispatch_ms_per_req": p50,
+        "gates": "pass" if ok else "FAIL",
+        "note": f"{_fmt(_get(d, 'soak', 'requests_per_s'))} req/s soak",
+    }
+
+
+def _row_pr7(d: dict) -> dict:
+    sizes = d.get("routing") or [{}]
+    largest = sizes[-1]
+    ok = bool(_get(d, "fingerprint", "identical"))
+    return {
+        "headline": "contraction-hierarchy routing",
+        "wall_s": largest.get("build_s"),
+        "dispatch_ms_per_req": None,
+        "gates": "pass" if ok else "FAIL",
+        "note": (
+            f"{_fmt(largest.get('vertices'))}v m2m "
+            f"{_fmt(largest.get('m2m_warm_us_per_entry'))}us/entry"
+        ),
+    }
+
+
+def _row_pr8(d: dict) -> dict:
+    perf = d.get("perf", {})
+    fp = d.get("fingerprints", {})
+    ok = (
+        bool(fp.get("deterministic"))
+        and bool(fp.get("w0_equals_greedy"))
+        and perf.get("scalar_pair_fallbacks", 1) == 0
+        and perf.get("window_dispatch_mean_us", float("inf"))
+        <= perf.get("greedy_dispatch_mean_us", 0.0)
+    )
+    window_us = perf.get("window_dispatch_mean_us")
+    greedy_us = perf.get("greedy_dispatch_mean_us")
+    return {
+        "headline": "batch-window LAP assignment",
+        "wall_s": None,
+        "dispatch_ms_per_req": window_us / 1e3 if window_us is not None else None,
+        "gates": "pass" if ok else "FAIL",
+        "note": f"vs greedy {_fmt(greedy_us)}us amortised",
+    }
+
+
+_EXTRACTORS = {2: _row_pr2, 3: _row_pr3, 6: _row_pr6, 7: _row_pr7, 8: _row_pr8}
+
+
+def _row_generic(d: dict) -> dict:
+    return {
+        "headline": d.get("benchmark") or d.get("bench") or "?",
+        "wall_s": None,
+        "dispatch_ms_per_req": None,
+        "gates": "?",
+        "note": "",
+    }
+
+
+def collect(directory: str) -> list[dict]:
+    rows = []
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_PR*.json"))):
+        match = re.search(r"BENCH_PR(\d+)\.json$", os.path.basename(path))
+        if not match:
+            continue
+        pr = int(match.group(1))
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            rows.append({"pr": pr, **_row_generic({}), "note": f"unreadable: {exc}"})
+            continue
+        row = _EXTRACTORS.get(pr, _row_generic)(data)
+        row["pr"] = pr
+        rows.append(row)
+    return sorted(rows, key=lambda r: r["pr"])
+
+
+def print_table(rows: list[dict]) -> None:
+    headers = ("PR", "headline", "wall", "dispatch/req", "gates", "note")
+    table = [
+        (
+            f"PR{r['pr']}",
+            r["headline"],
+            _fmt(r["wall_s"], "s"),
+            _fmt(r["dispatch_ms_per_req"], "ms"),
+            r["gates"],
+            r["note"],
+        )
+        for r in rows
+    ]
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in table)) if table else len(headers[c])
+        for c in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for row in table:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))) or ".",
+                        help="directory holding the BENCH_PR*.json reports "
+                             "(default: the repo root)")
+    args = parser.parse_args()
+    rows = collect(args.dir)
+    if not rows:
+        print(f"no BENCH_PR*.json reports under {args.dir}")
+        return 1
+    print_table(rows)
+    failing = [r for r in rows if r["gates"] == "FAIL"]
+    print()
+    print(f"{len(rows)} reports; gates: "
+          + ("all pass" if not failing else f"{len(failing)} FAILING"))
+    return 2 if failing else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,6 +41,13 @@ class DispatchScheme(abc.ABC):
     #: Human-readable scheme name used in reports.
     name = "abstract"
 
+    #: Batch-window length in simulation seconds.  ``None`` (every
+    #: greedy scheme) dispatches each online request immediately at its
+    #: release; a float makes the simulator buffer releases and flush
+    #: them through :meth:`match_window` at ``window.tick`` boundaries
+    #: (``0.0`` flushes a single-request window per release).
+    dispatch_window_s: float | None = None
+
     def __init__(
         self,
         network: RoadNetwork,
@@ -106,6 +113,20 @@ class DispatchScheme(abc.ABC):
     @abc.abstractmethod
     def dispatch(self, request: RideRequest, now: float) -> MatchResult | None:
         """Match an online request; ``None`` means it cannot be served."""
+
+    def match_window(
+        self, batch: list[RideRequest], now: float
+    ) -> list[tuple[RideRequest, MatchResult | None]]:
+        """Match one dispatch window's worth of requests globally.
+
+        Only meaningful for schemes that set :attr:`dispatch_window_s`;
+        the simulator never calls it otherwise.  Returns one
+        ``(request, result-or-None)`` pair per batch entry, in batch
+        order — a ``None`` result means "unmatched this window" and the
+        simulator decides between rolling the request forward and
+        declaring it unserved.
+        """
+        raise NotImplementedError(f"{self.name} does not batch dispatch windows")
 
     def _apply_plan(self, result: MatchResult, request: RideRequest, now: float) -> Taxi:
         """Raw plan application: assign, install route, refresh indexes."""

@@ -35,7 +35,7 @@ from .experiments.figures import ALL_EXPERIMENTS, NON_RUN_FIGURES, figure_run_ke
 from .experiments.reporting import observability_table
 from .experiments.runner import bench_scale, collect_keys, default_workers, run_many
 from .sim.engine import Simulator
-from .sim.scenario import SCHEME_NAMES, ScenarioSpec, get_scenario
+from .sim.scenario import SCHEME_NAMES, SCHEME_REGISTRY, ScenarioSpec, get_scenario
 
 #: Ablations that drive the simulator directly instead of going through
 #: ``runner.run`` — a planning pass over them would execute real work.
@@ -55,6 +55,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--taxis", type=int, default=100)
     sim.add_argument("--capacity", type=int, default=3)
     sim.add_argument("--rho", type=float, default=1.3)
+    sim.add_argument("--window", type=float, default=None, metavar="SECONDS",
+                     help="dispatch-window length W for the window-lap "
+                          "scheme (0 reproduces greedy decisions exactly; "
+                          "default: the config's dispatch_window_s)")
     sim.add_argument("--requests", type=int, default=600,
                      help="expected busiest-hour request volume")
     sim.add_argument("--grid", type=int, default=16,
@@ -160,7 +164,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         sp_mode=args.sp_mode,
     )
     scenario = get_scenario(spec)
-    config = scenario.default_config(rho=args.rho, capacity=args.capacity)
+    overrides = {"rho": args.rho, "capacity": args.capacity}
+    if args.window is not None:
+        overrides["dispatch_window_s"] = args.window
+    config = scenario.default_config(**overrides)
     scheme = scenario.make_scheme(args.scheme, config=config)
     requests = scenario.requests(rho=args.rho)
     fleet = scenario.make_fleet(args.taxis, capacity=args.capacity)
@@ -358,7 +365,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_list() -> int:
-    print("schemes     :", ", ".join(SCHEME_NAMES))
+    print("schemes:")
+    for info in SCHEME_REGISTRY.values():
+        print(f"  {info.key:13s} {info.summary}")
     print("experiments :", ", ".join(sorted(ALL_EXPERIMENTS)))
     print("ablations   :", ", ".join(sorted(ALL_ABLATIONS)))
     print("\nSet REPRO_BENCH_SCALE=full for paper-shaped sweeps.")

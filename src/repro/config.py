@@ -93,6 +93,13 @@ class SystemConfig:
         the overall demand shares.  Off by default: with short mined
         histories the hourly estimates are noisier than the stable
         overall shares (see the prediction module's docs).
+    dispatch_window_s:
+        Batch-window length ``W`` of the ``window-lap`` scheme: online
+        requests released inside the same ``W``-second window are
+        matched together by one global linear assignment per window
+        tick.  ``0`` degenerates to single-request windows, which
+        reproduce the greedy per-request decisions exactly.  Ignored by
+        the greedy schemes.
     """
 
     num_taxis: int = 2000
@@ -116,6 +123,7 @@ class SystemConfig:
     prob_steering_m: float = 120.0
     enable_cruising: bool = True
     use_demand_prediction: bool = False
+    dispatch_window_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.num_taxis < 1:
@@ -132,6 +140,8 @@ class SystemConfig:
             raise ValueError("epsilon must be non-negative")
         if self.match_planning_cutoff < 1:
             raise ValueError("match_planning_cutoff must be >= 1")
+        if self.dispatch_window_s < 0:
+            raise ValueError("dispatch_window_s must be non-negative")
 
     def replace(self, **changes) -> "SystemConfig":
         """A copy with the given fields changed."""

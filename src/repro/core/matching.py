@@ -368,6 +368,28 @@ class Matcher:
         self._obs.count("kernel.batched_insertions", len(groups))
         return scored
 
+    def score_insertions_for(
+        self,
+        items: list[tuple[Taxi, int, float, list[Stop]]],
+        request: RideRequest,
+    ) -> list[tuple[float, Taxi, Callable[[], list[Stop]]]]:
+        """Grouped-kernel detour scoring over pre-gathered candidate states.
+
+        ``items`` holds ``(taxi, position_node, ready_time, pending_stops)``
+        tuples — the caller gathers them once and may share them across
+        several scoring calls (the window cost-matrix builder gathers
+        each taxi's state once per dispatch window).  Small sets take
+        the tight distance-row walk, large ones the grouped array
+        kernels — the same split as :meth:`_score_candidates`, and by
+        the same kernel invariants detours, feasibility and per-taxi
+        winning instances are bit-identical to the scalar reference
+        either way.
+        """
+        total = sum((len(p) + 1) * (len(p) + 2) // 2 for _, _, _, p in items)
+        if total <= TIGHT_INSERTION_MAX:
+            return self._score_tight(items, request)
+        return self._score_grouped(items, request)
+
     def _best_insertion(
         self,
         taxi: Taxi,

@@ -175,10 +175,55 @@ def ablation_seed_robustness(scale: BenchScale | None = None,
     return result
 
 
+def ablation_window_size(scale: BenchScale | None = None,
+                         windows: tuple[float, ...] = (0.0, 10.0, 30.0, 60.0, 120.0)
+                         ) -> ExperimentResult:
+    """``window-lap`` service quality and dispatch cost versus ``W``.
+
+    ``W = 0`` degenerates to single-request windows and reproduces the
+    greedy mT-Share decisions exactly (the PR 8 equivalence gate); the
+    wider the window, the more requests each linear assignment batches
+    — amortising matrix fill across the window — at the price of up to
+    ``W`` seconds of added matching delay per request.
+    """
+    scale = scale or bench_scale()
+    result = ExperimentResult(
+        title="Ablation: window-lap dispatch-window length (peak)",
+        x_label="window_s",
+        x_values=[int(w) for w in windows],
+        y_label="value",
+    )
+    served = []
+    waiting = []
+    dispatch_ms = []
+    rolled = []
+    for w in windows:
+        metrics = run(
+            RunKey(
+                spec=scale.peak,
+                scheme="window-lap",
+                num_taxis=scale.default_taxis,
+                config_overrides=(("dispatch_window_s", float(w)),),
+            )
+        )
+        served.append(metrics.served)
+        waiting.append(round(metrics.avg_waiting_min, 2))
+        stage = metrics.stages.get("sim.dispatch", {})
+        per_request = stage.get("total_s", 0.0) / max(metrics.num_online, 1)
+        dispatch_ms.append(round(1000.0 * per_request, 3))
+        rolled.append(metrics.counters.get("window.rolled", 0))
+    result.add_series("served", served)
+    result.add_series("waiting_min", waiting)
+    result.add_series("dispatch_ms_per_request", dispatch_ms)
+    result.add_series("rolled", rolled)
+    return result
+
+
 ALL_ABLATIONS = {
     "adaptive_gamma": ablation_adaptive_gamma,
     "steering": ablation_steering,
     "cruising": ablation_cruising,
     "redispatch": ablation_redispatch,
     "seed_robustness": ablation_seed_robustness,
+    "window_size": ablation_window_size,
 }

@@ -604,6 +604,44 @@ def figure_run_keys(
 
 
 #: Registry used by the benchmark suite and the EXPERIMENTS.md generator.
+# ----------------------------------------------------------------------
+# Fig. 22w (companion) — batch-window assignment at peak workload
+# ----------------------------------------------------------------------
+def fig22w_window_peak(scale: BenchScale | None = None,
+                       taxi_counts: tuple[int, ...] | None = None) -> ExperimentResult:
+    """Companion figure: ``window-lap`` versus greedy mT-Share at peak.
+
+    Sweeps the peak fleet sizes and reports, per scheme, the served
+    count and the amortised per-request dispatch cost (the
+    ``sim.dispatch`` stage total over the online population) — the
+    trade the whole-window LAP makes: a bounded matching delay buys
+    batched matrix fill and one globally optimal assignment per window.
+    """
+    scale = scale or bench_scale()
+    taxi_counts = taxi_counts or scale.taxi_counts
+    result = ExperimentResult(
+        title="Fig. 22w: batch-window LAP vs greedy mT-Share (peak)",
+        x_label="#taxis",
+        x_values=list(taxi_counts),
+        y_label="value",
+    )
+    for scheme in ("mt-share", "window-lap"):
+        served = []
+        dispatch_ms = []
+        waiting = []
+        for n in taxi_counts:
+            metrics = run(RunKey(spec=scale.peak, scheme=scheme, num_taxis=n))
+            served.append(metrics.served)
+            stage = metrics.stages.get("sim.dispatch", {})
+            per_request = stage.get("total_s", 0.0) / max(metrics.num_online, 1)
+            dispatch_ms.append(round(1000.0 * per_request, 3))
+            waiting.append(round(metrics.avg_waiting_min, 2))
+        result.add_series(f"{scheme} served", served)
+        result.add_series(f"{scheme} dispatch_ms", dispatch_ms)
+        result.add_series(f"{scheme} waiting_min", waiting)
+    return result
+
+
 ALL_EXPERIMENTS = {
     "fig5": fig5_dataset_stats,
     "fig6": fig6_served_peak,
@@ -627,4 +665,5 @@ ALL_EXPERIMENTS = {
     "fig20": fig20_lambda,
     "fig21": fig21_scalability,
     "fig21v": fig21v_vertex_scalability,
+    "fig22w": fig22w_window_peak,
 }

@@ -4,8 +4,10 @@ from .engine import Simulator
 from .metrics import SimulationMetrics
 from .scenario import (
     SCHEME_NAMES,
+    SCHEME_REGISTRY,
     Scenario,
     ScenarioSpec,
+    SchemeInfo,
     get_scenario,
     nonpeak_spec,
     peak_spec,
@@ -13,8 +15,10 @@ from .scenario import (
 
 __all__ = [
     "SCHEME_NAMES",
+    "SCHEME_REGISTRY",
     "Scenario",
     "ScenarioSpec",
+    "SchemeInfo",
     "SimulationMetrics",
     "Simulator",
     "get_scenario",

@@ -47,7 +47,7 @@ from ..fleet.taxi import FleetLog, Taxi
 from ..index.spatial import StaticVertexGrid
 from ..network.shortest_path import subgraph_cache_stats
 from ..obs import Instrumentation, JsonlTraceWriter
-from .kernel import DRAIN_TICK, REQUEST_RELEASE, Event, Kernel
+from .kernel import DRAIN_TICK, REQUEST_RELEASE, WINDOW_TICK, Event, Kernel
 from .metrics import SimulationMetrics
 
 #: Clock step while draining schedules after the last online release.
@@ -182,6 +182,15 @@ class Simulator:
         # end-of-run sweep walks this instead of the full request list,
         # so streaming runs never need to retain the workload.
         self._pending_offline: dict[int, RideRequest] = {}
+        # Dispatch-window batching (the window-lap scheme): when the
+        # scheme declares a window length, online releases are buffered
+        # and flushed through ``scheme.match_window`` at ``window.tick``
+        # boundaries instead of being dispatched one by one.
+        self._window_s = scheme.dispatch_window_s
+        self._window_buffer: list[RideRequest] = []
+        self._window_tick_at: float | None = None
+        if self._window_s is not None:
+            self._kernel.subscribe(WINDOW_TICK, self._on_window_tick)
         self._last_release = 0.0
         self._streaming = False
         self._wall_start = 0.0
@@ -566,7 +575,16 @@ class Simulator:
             self._resolve_offline(rid)
             self._metrics.cancelled_offline += 1
         else:
-            return  # online and never matched: already in unserved_online
+            # Online and never matched: either still buffered in an open
+            # dispatch window (withdraw it before the flush) or already
+            # in unserved_online.
+            for i, pending in enumerate(self._window_buffer):
+                if pending.request_id == rid:
+                    del self._window_buffer[i]
+                    self._metrics.cancelled_online += 1
+                    break
+            else:
+                return
         self._obs.count("fault.cancellations")
         self._obs.event("cancel", request=rid, t=now)
 
@@ -694,9 +712,116 @@ class Simulator:
         self._boundary(now)
         if request.offline:
             self._register_offline(request)
+        elif self._window_s is not None:
+            self._collect_window(request, now)
         else:
             self._dispatch_online(request, now)
             contracts.check_request_accounting(self._metrics)
+
+    # ------------------------------------------------------------------
+    # dispatch-window batching (the window-lap scheme)
+    # ------------------------------------------------------------------
+    def _collect_window(self, request: RideRequest, now: float) -> None:
+        """Buffer one online release until its dispatch window flushes."""
+        self._window_buffer.append(request)
+        self._obs.count("window.collected")
+        if self._window_s <= 0.0:
+            # Degenerate single-request window: flush at the release
+            # instant, which reproduces the greedy per-request decisions
+            # (the W -> 0 equivalence gate).
+            self._flush_window(now)
+        else:
+            self._schedule_window_tick(now)
+        contracts.check_request_accounting(self._metrics)
+
+    def _schedule_window_tick(self, now: float) -> None:
+        """Schedule the next window boundary (at most one outstanding).
+
+        Boundaries sit on the absolute ``W``-grid, not ``now + W``, so
+        the tick sequence is a function of the workload's release times
+        alone, never of internal scheduling order.  The tick carries a
+        positive priority: a release landing *exactly* on a boundary
+        always enters the closing window, in batch and streaming runs
+        alike, independent of event sequence numbers.
+        """
+        if self._window_tick_at is not None:
+            return
+        w = self._window_s
+        tick_at = (math.floor(now / w) + 1.0) * w
+        self._window_tick_at = tick_at
+        self._kernel.schedule(tick_at, WINDOW_TICK, priority=1)
+
+    def _on_window_tick(self, event: Event) -> None:
+        """Kernel handler: one dispatch-window boundary."""
+        now = event.time
+        self._window_tick_at = None
+        self._boundary(now)
+        if self._window_buffer:
+            self._flush_window(now)
+        if self._window_buffer:
+            # Unmatched survivors rolled forward: keep ticking.
+            self._schedule_window_tick(now)
+        contracts.check_request_accounting(self._metrics)
+
+    def _flush_window(self, now: float) -> None:
+        """Flush the buffered window through the scheme's global matcher.
+
+        Requests already past their pick-up deadline expire without
+        being matched; the rest go to ``scheme.match_window`` as one
+        batch whose wall time is amortised evenly across its requests
+        for the ``sim.dispatch``/response metrics.  Unmatched survivors
+        roll into the next window while their deadline allows (never
+        with ``W <= 0``, where no further tick would come); otherwise
+        they are terminally unserved.
+        """
+        batch = self._window_buffer
+        self._window_buffer = []
+        live: list[RideRequest] = []
+        for request in batch:
+            if now > request.pickup_deadline:
+                self._metrics.add_response(0.0)
+                self._metrics.unserved_online += 1
+                self._obs.count("window.expired")
+                if self.on_decision is not None:
+                    self.on_decision(request, now, False, None, 0.0, "online")
+                continue
+            live.append(request)
+        if not live:
+            return
+        t0 = time.perf_counter()  # repro-lint: disable=REP003 reason=response-time metric only, never a decision input
+        with self._obs.stage("window.solve"):
+            outcomes = self._scheme.match_window(live, now)
+        elapsed = time.perf_counter() - t0  # repro-lint: disable=REP003 reason=response-time metric only, never a decision input
+        share = elapsed / len(live)
+        self._obs.count("window.flushes")
+        self._obs.count("window.batched_requests", len(live))
+        rollover = self._window_s is not None and self._window_s > 0.0
+        for request, result in outcomes:
+            self._obs.record("sim.dispatch", share)
+            self._obs.event(
+                "dispatch",
+                request=request.request_id,
+                t=now,
+                elapsed_ms=round(1000.0 * share, 4),
+                matched=result is not None,
+                redispatch=False,
+            )
+            if result is not None:
+                self._metrics.add_response(share)
+                self._metrics.add_candidates(result.num_candidates)
+                self._install(result, request, now, offline=False)
+                self._obs.count("window.matched")
+                if self.on_decision is not None:
+                    self.on_decision(request, now, True, result.taxi_id, share, "online")
+            elif rollover and now < request.pickup_deadline:
+                self._window_buffer.append(request)
+                self._obs.count("window.rolled")
+            else:
+                self._metrics.add_response(share)
+                self._metrics.unserved_online += 1
+                self._obs.count("window.unmatched")
+                if self.on_decision is not None:
+                    self.on_decision(request, now, False, None, share, "online")
 
     def _drain(self) -> None:
         """Drive open schedules to completion after the last release.
@@ -712,7 +837,11 @@ class Simulator:
         monotone-clock contract compared each step against the wrong
         previous value and fault injection read old time.
         """
-        now = self._last_release
+        # Window ticks can legitimately commit the clock past the last
+        # release (the final window's boundary); the drain chain must
+        # start from whichever is later or its first tick would be
+        # scheduled in the past.
+        now = max(self._last_release, self._now)
         deadline = now + DRAIN_HORIZON_S
         if now < deadline and any(not t.idle for t in self._fleet.values()):
             self._kernel.schedule(min(now + DRAIN_STEP_S, deadline), DRAIN_TICK, deadline)
@@ -730,6 +859,14 @@ class Simulator:
     def _finish_run(self) -> SimulationMetrics:
         """Close the books: offline sweep, episode settlement, gauges."""
         now = self._now
+
+        # Requests still buffered in an open dispatch window (a stream
+        # cut off before its tick fired) are unserved; without this the
+        # request balance does not close.
+        for _request in self._window_buffer:
+            self._metrics.unserved_online += 1
+            self._obs.count("window.unflushed")
+        self._window_buffer.clear()
 
         # Final offline accounting: requests no taxi ever resolved are
         # either expired (deadline passed while waiting at the roadside)

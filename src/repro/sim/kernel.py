@@ -28,6 +28,11 @@ Event taxonomy (see docs/ARCHITECTURE.md):
 ``drain.tick``
     A fixed-step clock tick after the last release, driving schedules
     to completion; payload is the drain deadline.
+``window.tick``
+    A dispatch-window boundary: the simulator flushes every online
+    request buffered since the previous boundary through the batching
+    scheme's whole-window matcher (the ``window-lap`` scheme); no
+    payload.
 ``timer``
     Generic reusable kind for service/test timers.
 """
@@ -47,6 +52,7 @@ __all__ = [
     "DRAIN_TICK",
     "REQUEST_RELEASE",
     "TIMER",
+    "WINDOW_TICK",
     "Event",
     "EventQueue",
     "Kernel",
@@ -60,6 +66,9 @@ REQUEST_RELEASE = "request.release"
 
 #: Fixed-step post-release tick draining open schedules.
 DRAIN_TICK = "drain.tick"
+
+#: Dispatch-window boundary flushing the batched online requests.
+WINDOW_TICK = "window.tick"
 
 #: Generic timer event for services and tests.
 TIMER = "timer"

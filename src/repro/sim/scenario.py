@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import os
 from collections import OrderedDict
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -51,8 +52,121 @@ SCENARIO_CACHE_ENV = "REPRO_SCENARIO_CACHE"
 #: Default number of built scenarios kept resident.
 DEFAULT_SCENARIO_CACHE_SIZE = 8
 
+@dataclass(frozen=True, slots=True)
+class SchemeInfo:
+    """One registered dispatch scheme: key, one-line summary, factory.
+
+    The registry below is the *single* source of scheme names: it
+    drives :data:`SCHEME_NAMES`, :meth:`Scenario.make_scheme`, the CLI
+    ``--scheme`` choices and the ``repro list`` report.  Adding a
+    scheme is one table entry, not four parallel edits.
+    """
+
+    key: str
+    summary: str
+    factory: "Callable[[Scenario, SystemConfig, str], DispatchScheme]"
+
+
+def _make_no_sharing(
+    scenario: "Scenario", config: SystemConfig, partition_method: str
+) -> DispatchScheme:
+    return NoSharing(scenario.network, scenario.engine, config)
+
+
+def _make_t_share(
+    scenario: "Scenario", config: SystemConfig, partition_method: str
+) -> DispatchScheme:
+    return TShare(scenario.network, scenario.engine, config)
+
+
+def _make_pgreedydp(
+    scenario: "Scenario", config: SystemConfig, partition_method: str
+) -> DispatchScheme:
+    return PGreedyDP(scenario.network, scenario.engine, config)
+
+
+def _make_mtshare(
+    scenario: "Scenario",
+    config: SystemConfig,
+    partition_method: str,
+    probabilistic: bool = False,
+) -> DispatchScheme:
+    part = scenario.partitioning(partition_method, config.num_partitions)
+    return MTShare(
+        scenario.network,
+        scenario.engine,
+        config,
+        part,
+        probabilistic=probabilistic,
+        demand_predictor=(
+            scenario.demand_predictor(part)
+            if probabilistic and config.use_demand_prediction
+            else None
+        ),
+        landmarks=scenario.landmark_graph(partition_method, config.num_partitions),
+    )
+
+
+def _make_mtshare_pro(
+    scenario: "Scenario", config: SystemConfig, partition_method: str
+) -> DispatchScheme:
+    return _make_mtshare(scenario, config, partition_method, probabilistic=True)
+
+
+def _make_window_lap(
+    scenario: "Scenario", config: SystemConfig, partition_method: str
+) -> DispatchScheme:
+    from ..core.window import WindowLAP
+
+    part = scenario.partitioning(partition_method, config.num_partitions)
+    return WindowLAP(
+        scenario.network,
+        scenario.engine,
+        config,
+        part,
+        landmarks=scenario.landmark_graph(partition_method, config.num_partitions),
+    )
+
+
+#: The scheme registry — the one table every scheme surface reads.
+SCHEME_REGISTRY: "dict[str, SchemeInfo]" = {
+    info.key: info
+    for info in (
+        SchemeInfo(
+            "no-sharing",
+            "nearest-idle-taxi dispatch, no ridesharing (lower bound)",
+            _make_no_sharing,
+        ),
+        SchemeInfo(
+            "t-share",
+            "grid-index insertion baseline with partial trip information",
+            _make_t_share,
+        ),
+        SchemeInfo(
+            "pgreedydp",
+            "greedy insertion with DP schedule reoptimisation baseline",
+            _make_pgreedydp,
+        ),
+        SchemeInfo(
+            "mt-share",
+            "mobility-aware matching on partition/cluster indexes (the paper)",
+            _make_mtshare,
+        ),
+        SchemeInfo(
+            "mt-share-pro",
+            "mT-Share with probabilistic routing towards street hails",
+            _make_mtshare_pro,
+        ),
+        SchemeInfo(
+            "window-lap",
+            "batch-window global assignment: one LAP per W-second window",
+            _make_window_lap,
+        ),
+    )
+}
+
 #: Scheme-name keys accepted by :meth:`Scenario.make_scheme`.
-SCHEME_NAMES = ("no-sharing", "t-share", "pgreedydp", "mt-share", "mt-share-pro")
+SCHEME_NAMES = tuple(SCHEME_REGISTRY)
 
 
 @dataclass(frozen=True, slots=True)
@@ -539,33 +653,11 @@ class Scenario:
         the ``"mt-share-pro"`` name instead.
         """
         config = config if config is not None else self.default_config()
-        key = name.lower()
-        scheme: DispatchScheme
-        if key == "no-sharing":
-            scheme = NoSharing(self.network, self.engine, config)
-        elif key == "t-share":
-            scheme = TShare(self.network, self.engine, config)
-        elif key == "pgreedydp":
-            scheme = PGreedyDP(self.network, self.engine, config)
-        elif key in ("mt-share", "mt-share-pro"):
-            part = self.partitioning(partition_method, config.num_partitions)
-            probabilistic_variant = key == "mt-share-pro"
-            return MTShare(
-                self.network,
-                self.engine,
-                config,
-                part,
-                probabilistic=probabilistic_variant,
-                demand_predictor=(
-                    self.demand_predictor(part)
-                    if probabilistic_variant and config.use_demand_prediction
-                    else None
-                ),
-                landmarks=self.landmark_graph(partition_method, config.num_partitions),
-            )
-        else:
+        info = SCHEME_REGISTRY.get(name.lower())
+        if info is None:
             raise ValueError(f"unknown scheme {name!r}; expected one of {SCHEME_NAMES}")
-        if probabilistic:
+        scheme = info.factory(self, config, partition_method)
+        if probabilistic and not isinstance(scheme, MTShare):
             scheme.enable_probabilistic(self._probabilistic_router(config))
             scheme.name = f"{scheme.name}+prob"
         return scheme

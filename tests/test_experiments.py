@@ -122,5 +122,6 @@ class TestFigures:
             "fig10", "fig11", "fig12", "fig13", "table4",
             "fig14a", "fig14b", "table5", "fig15", "fig16",
             "fig17", "fig18", "fig19", "fig20", "fig21", "fig21v",
+            "fig22w",
         }
         assert set(figures.ALL_EXPERIMENTS) == expected

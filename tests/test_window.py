@@ -1,0 +1,218 @@
+"""Batch-window global assignment (the ``window-lap`` scheme).
+
+Four properties anchor the scheme (see ISSUE/PR 8):
+
+* the vectorised cost-matrix fill is **bit-identical** to evaluating
+  every pruned pair with the scalar per-pair insertion reference;
+* ``W -> 0`` (single-request windows) reproduces the greedy mT-Share
+  decision stream exactly;
+* unmatched requests roll across windows but never past their pick-up
+  deadline, and the request accounting still closes;
+* windowed runs are deterministic — double ``run()`` and the streaming
+  façade produce the same decision fingerprint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mtshare import MTShare
+from repro.core.window import WindowLAP, solve_window_lap
+from repro.sim.engine import Simulator
+from repro.sim.scenario import SCHEME_NAMES, SCHEME_REGISTRY
+
+from tests.test_runner_parallel import decision_fingerprint
+
+
+def _window_scheme(scenario, window_s, **overrides):
+    config = scenario.default_config(dispatch_window_s=window_s, **overrides)
+    return scenario.make_scheme("window-lap", config=config)
+
+
+def _run(scenario, scheme, num_taxis=30, fleet_seed=1):
+    sim = Simulator(scheme, scenario.make_fleet(num_taxis, seed=fleet_seed), scenario.requests())
+    return sim.run()
+
+
+# ----------------------------------------------------------------------
+# registry (satellite: one table drives every scheme surface)
+# ----------------------------------------------------------------------
+class TestSchemeRegistry:
+    def test_window_lap_registered(self):
+        assert "window-lap" in SCHEME_NAMES
+        assert SCHEME_NAMES == tuple(SCHEME_REGISTRY)
+
+    def test_registry_entries_are_complete(self):
+        for key, info in SCHEME_REGISTRY.items():
+            assert info.key == key
+            assert info.summary
+            assert callable(info.factory)
+
+    def test_factory_builds_window_lap(self, test_scenario):
+        scheme = test_scenario.make_scheme("window-lap")
+        assert isinstance(scheme, WindowLAP)
+        assert isinstance(scheme, MTShare)  # inherits indexes + pruning
+        assert scheme.dispatch_window_s == test_scenario.default_config().dispatch_window_s
+
+    def test_greedy_schemes_do_not_batch(self, test_scenario):
+        scheme = test_scenario.make_scheme("mt-share")
+        assert scheme.dispatch_window_s is None
+        with pytest.raises(NotImplementedError):
+            scheme.match_window([], 0.0)
+
+
+# ----------------------------------------------------------------------
+# LAP solver
+# ----------------------------------------------------------------------
+class TestSolveWindowLap:
+    def test_empty_and_all_infeasible(self):
+        assert solve_window_lap(np.empty((0, 0))) == []
+        assert solve_window_lap(np.full((3, 2), np.inf)) == []
+
+    def test_prefers_global_optimum_over_greedy(self):
+        # Greedy (row order) would give row 0 the cheap taxi 0 (1.0) and
+        # leave row 1 with 10.0 (total 11); the LAP swaps to 2 + 2 = 4.
+        costs = np.array([[1.0, 2.0], [2.0, 10.0]])
+        assert solve_window_lap(costs) == [(0, 1), (1, 0)]
+
+    def test_maximises_matches_before_cost(self):
+        # Row 0 could take taxi 0 for 1.0, starving row 1 (only taxi 0
+        # feasible there is not: row 1 has only taxi 0).  Masking must
+        # keep both rows matched when possible.
+        costs = np.array([[1.0, 50.0], [2.0, np.inf]])
+        assert solve_window_lap(costs) == [(0, 1), (1, 0)]
+
+    def test_infeasible_rows_are_dropped(self):
+        costs = np.array([[np.inf, np.inf], [1.0, 2.0]])
+        assert solve_window_lap(costs) == [(1, 0)]
+
+
+# ----------------------------------------------------------------------
+# vectorised cost matrix == scalar per-pair reference, bit for bit
+# ----------------------------------------------------------------------
+class TestCostMatrixEquivalence:
+    def _busy_state(self, scenario):
+        """A scheme + fleet where some candidates carry pending stops."""
+        scheme = _window_scheme(scenario, 30.0)
+        fleet = {t.taxi_id: t for t in scenario.make_fleet(25, seed=5)}
+        scheme.register_fleet(fleet, now=0.0)
+        requests = [r for r in scenario.requests() if not r.offline]
+        matched = 0
+        i = 0
+        while matched < 10 and i < len(requests):
+            r = requests[i]
+            i += 1
+            result = scheme.dispatch(r, r.release_time)
+            if result is not None:
+                scheme.install(result, r, r.release_time)
+                matched += 1
+        batch = requests[i : i + 12]
+        now = max(r.release_time for r in batch)
+        batch = [r for r in batch if now <= r.pickup_deadline]
+        return scheme, fleet, batch, now
+
+    def test_matrix_matches_scalar_reference(self, test_scenario):
+        scheme, fleet, batch, now = self._busy_state(test_scenario)
+        assert any(fleet[t].pending_stops() for t in fleet), "no busy taxis to exercise"
+        fast = scheme.build_cost_matrix(batch, now)
+        slow = scheme.build_cost_matrix_scalar(batch, now)
+        assert fast.taxi_ids == slow.taxi_ids
+        assert fast.num_candidates == slow.num_candidates
+        assert fast.costs.shape == slow.costs.shape
+        # Bitwise: identical feasibility pattern and identical detours.
+        assert np.array_equal(np.isfinite(fast.costs), np.isfinite(slow.costs))
+        finite = np.isfinite(fast.costs)
+        assert np.array_equal(fast.costs[finite], slow.costs[finite])
+        assert finite.any(), "degenerate matrix: nothing feasible"
+
+    def test_matrix_stop_builders_agree(self, test_scenario):
+        scheme, _fleet, batch, now = self._busy_state(test_scenario)
+        fast = scheme.build_cost_matrix(batch, now)
+        slow = scheme.build_cost_matrix_scalar(batch, now)
+        for i in range(len(batch)):
+            for j in range(len(fast.taxi_ids)):
+                if np.isfinite(fast.costs[i, j]):
+                    assert fast.build_stops(i, j) == slow.build_stops(i, j)
+
+    def test_production_fill_never_falls_back_to_scalar(self, test_scenario):
+        from repro.obs import Instrumentation
+
+        scheme, _fleet, batch, now = self._busy_state(test_scenario)
+        obs = Instrumentation()
+        scheme.instrument(obs)
+        scheme.build_cost_matrix(batch, now)
+        counters = obs.counter_snapshot()
+        assert counters.get("window.scalar_pair_fallbacks", 0) == 0
+        assert counters.get("window.matrix_cells", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# W -> 0 degenerates to the greedy decision stream
+# ----------------------------------------------------------------------
+class TestZeroWindowEquivalence:
+    def test_w0_matches_greedy_fingerprint(self, test_scenario):
+        greedy = _run(test_scenario, test_scenario.make_scheme("mt-share"))
+        windowed = _run(test_scenario, _window_scheme(test_scenario, 0.0))
+        assert decision_fingerprint(windowed) == decision_fingerprint(greedy)
+
+    def test_w0_never_rolls(self, test_scenario):
+        m = _run(test_scenario, _window_scheme(test_scenario, 0.0))
+        assert m.counters.get("window.rolled", 0) == 0
+        assert m.counters.get("window.collected", 0) == m.num_online
+
+
+# ----------------------------------------------------------------------
+# rollover semantics and accounting
+# ----------------------------------------------------------------------
+class TestRollover:
+    def test_rollover_respects_deadlines_and_balance(self, test_scenario):
+        scheme = _window_scheme(test_scenario, 60.0)
+        sim = Simulator(scheme, test_scenario.make_fleet(6, seed=2), test_scenario.requests())
+        decisions = []
+        sim.on_decision = lambda req, now, matched, taxi, dt, kind: decisions.append(
+            (req, now, matched, kind)
+        )
+        m = sim.run()
+        m.check_balance()
+        assert m.counters.get("window.rolled", 0) > 0, "fleet too large to force rollover"
+        # A match after the pick-up deadline would be a phantom pickup.
+        online = [d for d in decisions if d[3] == "online"]
+        assert online, "no online decisions recorded"
+        for req, now, matched, _kind in online:
+            if matched:
+                assert now <= req.pickup_deadline + 1e-9
+        # Every online request reaches exactly one terminal decision.
+        terminal = {d[0].request_id for d in online}
+        assert len(terminal) == m.num_online
+        assert m.counters.get("window.unflushed", 0) == 0
+
+    def test_window_counters_present(self, test_scenario):
+        m = _run(test_scenario, _window_scheme(test_scenario, 30.0))
+        for counter in ("window.collected", "window.flushes", "window.matched"):
+            assert m.counters.get(counter, 0) > 0, counter
+        assert "window.solve" in m.stages
+        assert m.stages["window.solve"]["count"] == m.counters["window.flushes"]
+
+
+# ----------------------------------------------------------------------
+# determinism: double run and the streaming façade
+# ----------------------------------------------------------------------
+class TestWindowedDeterminism:
+    def test_double_run_identical(self, test_scenario):
+        a = _run(test_scenario, _window_scheme(test_scenario, 30.0))
+        b = _run(test_scenario, _window_scheme(test_scenario, 30.0))
+        assert decision_fingerprint(a) == decision_fingerprint(b)
+
+    def test_streaming_matches_batch(self, test_scenario):
+        batch = _run(test_scenario, _window_scheme(test_scenario, 30.0))
+        sim = Simulator(
+            _window_scheme(test_scenario, 30.0),
+            test_scenario.make_fleet(30, seed=1),
+            [],
+        )
+        sim.stream_begin()
+        for request in test_scenario.requests():
+            sim.stream_submit(request)
+        streamed = sim.stream_finish()
+        assert decision_fingerprint(streamed) == decision_fingerprint(batch)
