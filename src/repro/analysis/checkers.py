@@ -283,14 +283,10 @@ class UnorderedSetIteration(Checker):
         "hash-layout-dependent order; wrap in sorted() so cold and "
         "store-warmed builds take identical paths (the PR 3 bug class)."
     )
-    include = (
-        "/repro/core/",
-        "/repro/network/",
-        "/repro/partitioning/",
-        "/repro/index/",
-        "/repro/sim/",
-        "/repro/service/",
-    )
+    # Widened from the per-PR directory list to the whole tree (PR 9):
+    # set iteration leaks order anywhere a decision or an artifact is
+    # derived from it, not just in the modules that have bitten us.
+    include = ()
 
     def check(self, ctx: ModuleContext) -> list[Finding]:
         types = SetTypes(ctx)
@@ -456,16 +452,11 @@ class FloatEquality(Checker):
         "is precision-fragile; compare with a tolerance (exact-zero sentinel "
         "tests are exempt)."
     )
-    include = (
-        "/repro/core/",
-        "/repro/fleet/",
-        "/repro/sim/",
-        "/repro/service/",
-        # The CH backend promises rectified distances *bit-identical* to
-        # the scipy reference, which makes ad-hoc float == comparisons in
-        # it doubly dangerous — keep it in scope.
-        "/repro/network/ch.py",
-    )
+    # Widened from the per-PR directory list to the whole tree (PR 9):
+    # originally scoped to routing/scheduling plus ch.py (whose
+    # bit-identical-to-scipy promise makes float == doubly dangerous);
+    # nothing about float precision respects directory boundaries.
+    include = ()
 
     @staticmethod
     def _nonzero_float_literal(node: ast.AST) -> bool:

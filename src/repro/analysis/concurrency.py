@@ -1,0 +1,310 @@
+"""Lock-discipline and process-boundary checks (REP103/REP104).
+
+The repo has exactly two concurrency idioms, both deliberately simple,
+and this checker keeps them that way:
+
+``REP103`` — *shared state is touched under its lock.*  The streaming
+service (:mod:`repro.service.http`) runs HTTP handler threads that all
+share one ``ServiceState`` guarded by a single ``threading.Lock``.  The
+rule: inside a **thread-entry function** (a method of a
+``BaseHTTPRequestHandler`` subclass, a ``do_GET``/``do_POST``-style
+handler, or a ``threading.Thread(target=...)`` target), any mutation of
+an attribute of a **guarded object** — a name that appears as ``with
+X.lock:`` somewhere in the same module — must happen lexically inside a
+``with X.lock:`` block.  Mutations counted: attribute assignment and
+aug-assignment, subscript assignment, ``del``, and calls to mutating
+collection methods (``append``/``add``/``pop``/...) or to *any* method
+of the guarded object itself (a method call may mutate; reads of plain
+attributes are not flagged — the GIL makes a single attribute load
+atomic, and flagging reads would drown the signal).
+
+``REP104`` — *only module-level functions cross the process boundary.*
+The sweep runner (:mod:`repro.experiments.runner`) fans out over a
+``ProcessPoolExecutor`` with a spawn context: workers re-import the
+module and unpickle the callable by qualified name.  A lambda, a nested
+function, or a bound method passed to ``pool.map``/``pool.submit``
+pickles never (lambdas, locals) or drags its whole ``self`` across the
+boundary (bound methods) — flag them all; only a plain module-level
+function name is accepted.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .callgraph import CallGraph, ModuleInfo, _attr_chain
+from .engine import Finding
+
+__all__ = ["LOCK_CODE", "PICKLE_CODE", "check_concurrency"]
+
+LOCK_CODE = "REP103"
+PICKLE_CODE = "REP104"
+
+#: Attribute names that denote a lock when used as ``with X.<attr>:``.
+_LOCK_ATTRS = frozenset({"lock", "_lock", "mutex", "_mutex"})
+
+_MUTATING_METHODS = frozenset(
+    {
+        "append", "add", "pop", "update", "setdefault", "popitem",
+        "clear", "extend", "insert", "remove", "discard",
+        "move_to_end", "appendleft", "popleft",
+    }
+)
+
+_THREAD_ENTRY_NAMES = frozenset(
+    {"do_GET", "do_POST", "do_PUT", "do_DELETE", "do_HEAD", "run"}
+)
+
+
+def _lock_key(node: ast.AST) -> tuple[str, str] | None:
+    """``(receiver, attr)`` of a lock expression like ``state.lock``."""
+    chain = _attr_chain(node)
+    if chain is not None and len(chain) == 2 and chain[1] in _LOCK_ATTRS:
+        return (chain[0], chain[1])
+    return None
+
+
+def _guarded_names(mod: ModuleInfo) -> set[str]:
+    """Names ``X`` with a ``with X.lock:`` block anywhere in the module."""
+    out: set[str] = set()
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                key = _lock_key(item.context_expr)
+                if key is not None:
+                    out.add(key[0])
+    return out
+
+
+def _thread_entry_functions(
+    graph: CallGraph, mod: ModuleInfo
+) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Functions whose body runs on a non-main thread."""
+    out: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+    handler_bases = {"BaseHTTPRequestHandler"}
+    handler_bases.update(
+        cls.rsplit(".", 1)[-1]
+        for cls in sorted(graph.subclasses_of("BaseHTTPRequestHandler"))
+    )
+    # Thread(target=f) / Thread(target=self.m): collect target names.
+    thread_targets: set[str] = set()
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if chain is None or chain[-1] != "Thread":
+            continue
+        for kw in node.keywords:
+            if kw.arg == "target":
+                target_chain = _attr_chain(kw.value)
+                if target_chain is not None:
+                    thread_targets.add(target_chain[-1])
+
+    def visit(body: list[ast.stmt], in_handler_class: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                bases = {
+                    chain[-1]
+                    for base in stmt.bases
+                    if (chain := _attr_chain(base)) is not None
+                }
+                visit(stmt.body, in_handler_class or bool(bases & handler_bases))
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if (
+                    in_handler_class
+                    or stmt.name in _THREAD_ENTRY_NAMES
+                    or stmt.name in thread_targets
+                ):
+                    out.append(stmt)
+                # Nested handler classes (the _make_handler closure idiom).
+                visit(stmt.body, in_handler_class)
+
+    visit(mod.tree.body, False)
+    return out
+
+
+def _mutations_of(name: str, node: ast.AST) -> list[tuple[ast.AST, str]]:
+    """Direct mutations of ``name.<attr>`` in one statement, labelled."""
+    out: list[tuple[ast.AST, str]] = []
+
+    def is_target(expr: ast.AST) -> bool:
+        chain = _attr_chain(expr)
+        return chain is not None and chain[0] == name and len(chain) >= 2
+
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            base = target.value if isinstance(target, ast.Subscript) else target
+            if is_target(base):
+                out.append((node, f"assignment to {ast.unparse(target)}"))
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            base = target.value if isinstance(target, ast.Subscript) else target
+            if is_target(base):
+                out.append((node, f"del {ast.unparse(target)}"))
+    elif isinstance(node, ast.Call):
+        chain = _attr_chain(node.func)
+        if chain is not None and chain[0] == name and len(chain) >= 2:
+            attr = chain[-1]
+            if attr in _LOCK_ATTRS or (
+                len(chain) == 3 and chain[1] in _LOCK_ATTRS
+            ):
+                return out  # the lock itself (acquire/release) is not state
+            if len(chain) == 2 and attr not in _MUTATING_METHODS:
+                # X.method() — any method of the guarded object may mutate.
+                out.append((node, f"call {ast.unparse(node.func)}()"))
+            elif attr in _MUTATING_METHODS:
+                out.append((node, f"call {ast.unparse(node.func)}()"))
+    return out
+
+
+def _check_lock_discipline(graph: CallGraph, mod: ModuleInfo) -> list[Finding]:
+    guarded = _guarded_names(mod)
+    if not guarded:
+        return []
+    out: list[Finding] = []
+
+    def check_exprs(exprs: list[ast.AST], held: frozenset[str], fn_name: str) -> None:
+        for expr in exprs:
+            for node in ast.walk(expr):
+                for name in sorted(guarded - held):
+                    for site, label in _mutations_of(name, node):
+                        out.append(
+                            Finding(
+                                path=mod.path,
+                                line=getattr(site, "lineno", 1),
+                                col=getattr(site, "col_offset", 0) + 1,
+                                code=LOCK_CODE,
+                                message=(
+                                    f"{label} in thread-entry {fn_name}() "
+                                    f"without holding {name}.lock"
+                                ),
+                            )
+                        )
+
+    def walk(body: list[ast.stmt], held: frozenset[str], fn_name: str) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # separate scope; entered via its own entry
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired = {
+                    key[0]
+                    for item in stmt.items
+                    if (key := _lock_key(item.context_expr)) is not None
+                }
+                check_exprs([item.context_expr for item in stmt.items], held, fn_name)
+                walk(stmt.body, held | acquired, fn_name)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                check_exprs([stmt.test], held, fn_name)
+                walk(stmt.body, held, fn_name)
+                walk(stmt.orelse, held, fn_name)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                check_exprs([stmt.iter], held, fn_name)
+                walk(stmt.body, held, fn_name)
+                walk(stmt.orelse, held, fn_name)
+            elif isinstance(stmt, ast.Try):
+                walk(stmt.body, held, fn_name)
+                walk(stmt.orelse, held, fn_name)
+                walk(stmt.finalbody, held, fn_name)
+                for handler in stmt.handlers:
+                    walk(handler.body, held, fn_name)
+            else:
+                check_exprs([stmt], held, fn_name)
+
+    for fn in _thread_entry_functions(graph, mod):
+        walk(fn.body, frozenset(), fn.name)
+    return out
+
+
+# ----------------------------------------------------------------------
+# REP104: process-boundary picklability
+# ----------------------------------------------------------------------
+def _check_pickle_boundary(mod: ModuleInfo) -> list[Finding]:
+    # Names bound to a ProcessPoolExecutor (assignment or with-as).
+    pools: set[str] = set()
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            chain = _attr_chain(node.value.func)
+            if chain is not None and chain[-1] == "ProcessPoolExecutor":
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        pools.add(target.id)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Call):
+                    chain = _attr_chain(item.context_expr.func)
+                    if (
+                        chain is not None
+                        and chain[-1] == "ProcessPoolExecutor"
+                        and isinstance(item.optional_vars, ast.Name)
+                    ):
+                        pools.add(item.optional_vars.id)
+    if not pools:
+        return []
+
+    module_functions: set[str] = set()
+    nested_functions: set[str] = set()
+
+    def collect(body: list[ast.stmt], top: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                (module_functions if top else nested_functions).add(stmt.name)
+                collect(stmt.body, False)
+            elif isinstance(stmt, ast.ClassDef):
+                collect(stmt.body, False)
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                collect(getattr(stmt, "body", []), top)
+                collect(getattr(stmt, "orelse", []), top)
+
+    collect(mod.tree.body, True)
+
+    out: list[Finding] = []
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        func = node.func
+        if func.attr not in ("map", "submit"):
+            continue
+        if not (isinstance(func.value, ast.Name) and func.value.id in pools):
+            continue
+        if not node.args:
+            continue
+        worker = node.args[0]
+        label: str | None = None
+        if isinstance(worker, ast.Lambda):
+            label = "a lambda"
+        elif isinstance(worker, ast.Attribute):
+            label = f"bound method {ast.unparse(worker)}"
+        elif isinstance(worker, ast.Name):
+            if worker.id in nested_functions and worker.id not in module_functions:
+                label = f"nested function {worker.id}"
+            elif (
+                worker.id not in module_functions
+                and worker.id not in mod.import_symbols
+                and worker.id not in mod.import_modules
+            ):
+                label = f"non-module-level callable {worker.id}"
+        if label is not None:
+            out.append(
+                Finding(
+                    path=mod.path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    code=PICKLE_CODE,
+                    message=(
+                        f"{label} crosses the process boundary via "
+                        f"pool.{func.attr}(); spawn workers re-import by "
+                        "qualified name — pass a module-level function"
+                    ),
+                )
+            )
+    return out
+
+
+def check_concurrency(graph: CallGraph, suppressions: object = None) -> list[Finding]:
+    """REP103 + REP104 findings over the whole program."""
+    out: list[Finding] = []
+    for mod in graph.modules.values():
+        out.extend(_check_lock_discipline(graph, mod))
+        out.extend(_check_pickle_boundary(mod))
+    return sorted(out)

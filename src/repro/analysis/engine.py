@@ -232,8 +232,15 @@ def lint_paths(
     paths: list[str],
     checkers: "list[Checker] | None" = None,
     baseline_path: Path | None = None,
+    deep: bool = False,
 ) -> LintResult:
-    """Run every checker over every file under ``paths``."""
+    """Run every checker over every file under ``paths``.
+
+    With ``deep=True`` the whole-program tier also runs: a call graph
+    is built over every parsed file and the REP10x checkers (effects,
+    concurrency, event protocol) contribute findings through the same
+    suppression and baseline machinery as the per-file checkers.
+    """
     from .checkers import ALL_CHECKERS
 
     active = list(ALL_CHECKERS) if checkers is None else list(checkers)
@@ -264,9 +271,11 @@ def lint_paths(
     for _rel, tree, _source in parsed:
         project.collect(tree)
 
+    suppression_map = {rel: parse_suppressions(source) for rel, _tree, source in parsed}
+
     for rel, tree, source in parsed:
         ctx = ModuleContext(rel, tree, source, project)
-        suppressions = parse_suppressions(source)
+        suppressions = suppression_map[rel]
         for checker in active:
             if not checker.applies_to(rel):
                 continue
@@ -277,6 +286,14 @@ def lint_paths(
                 else:
                     raw.append(finding)
 
+    if deep:
+        for finding in run_deep_checkers(parsed, suppression_map):
+            sup = suppression_map.get(finding.path, {}).get(finding.line)
+            if sup is not None and finding.code in sup.codes and sup.reason:
+                result.suppressed.append(finding)
+            else:
+                raw.append(finding)
+
     budget = load_baseline(baseline_path)
     for finding in sorted(raw):
         if budget[finding.baseline_key] > 0:
@@ -285,6 +302,69 @@ def lint_paths(
         else:
             result.new.append(finding)
     return result
+
+
+# ----------------------------------------------------------------------
+# the deep (whole-program) tier
+# ----------------------------------------------------------------------
+#: Catalog rows for the REP10x whole-program checkers (``--list-checkers``).
+DEEP_CATALOG: tuple[tuple[str, str, str], ...] = (
+    ("REP101", "effect-contract [deep]",
+     "Everything reachable from the Simulator event boundaries, DispatchScheme "
+     "match*, or WindowLAP.build_cost_matrix must be effect-free."),
+    ("REP102", "impure-fingerprint [deep]",
+     "fingerprint() functions must be pure: no RNG, clock, filesystem, env, "
+     "network, or global mutation anywhere in their call tree."),
+    ("REP103", "unlocked-shared-state [deep]",
+     "Thread-entry code must hold the guarding lock on every path that "
+     "mutates shared service state."),
+    ("REP104", "unpicklable-process-boundary [deep]",
+     "Callables submitted to a ProcessPoolExecutor must be module-level "
+     "functions (spawn workers re-import by qualified name)."),
+    ("REP105", "event-protocol [deep]",
+     "Every scheduled event kind must come from the central EVENT_TABLE, "
+     "carry the table's priority, and have at least one subscriber."),
+)
+
+
+def run_deep_checkers(
+    parsed: list[tuple[str, ast.Module, str]],
+    suppression_map: dict[str, dict[int, Suppression]],
+) -> list[Finding]:
+    """Build the call graph once and run every whole-program checker."""
+    from .callgraph import build_call_graph
+    from .concurrency import check_concurrency
+    from .effects import check_effects
+    from .protocol import check_protocol
+
+    graph = build_call_graph([(rel, tree) for rel, tree, _source in parsed])
+    findings: list[Finding] = []
+    findings.extend(check_effects(graph, suppression_map))
+    findings.extend(check_concurrency(graph, suppression_map))
+    findings.extend(check_protocol(graph, suppression_map))
+    return findings
+
+
+def _effects_report(paths: list[str]) -> int:
+    """``repro lint effects [paths]`` — print the effects report."""
+    from .callgraph import build_call_graph
+    from .effects import render_effects_report
+
+    files = iter_python_files(paths)
+    parsed: list[tuple[str, ast.Module]] = []
+    suppression_map: dict[str, dict[int, Suppression]] = {}
+    for file in files:
+        rel = _relpath(file)
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError:
+            continue
+        parsed.append((rel, tree))
+        suppression_map[rel] = parse_suppressions(source)
+    graph = build_call_graph(parsed)
+    print(render_effects_report(graph, suppression_map))
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -305,6 +385,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline from the current findings and exit 0")
     parser.add_argument("--format", choices=("human", "json"), default="human")
+    parser.add_argument("--deep", action="store_true",
+                        help="also run the whole-program checkers (REP101-REP105: "
+                             "effect contracts, lock discipline, event protocol)")
     parser.add_argument("--list-checkers", action="store_true",
                         help="print the checker catalog and exit")
     return parser
@@ -316,17 +399,24 @@ def _print_catalog() -> None:
     for checker in ALL_CHECKERS:
         print(f"{checker.code}  {checker.name}")
         print(f"       {checker.description}")
+    for code, name, description in DEEP_CATALOG:
+        print(f"{code}  {name}")
+        print(f"       {description}")
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point shared by ``repro lint`` and ``python -m repro.analysis``."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "effects":
+        return _effects_report(argv[1:] or ["src"])
     args = build_parser().parse_args(argv)
     if args.list_checkers:
         _print_catalog()
         return 0
 
     baseline = None if args.no_baseline else Path(args.baseline)
-    result = lint_paths(args.paths, baseline_path=baseline)
+    result = lint_paths(args.paths, baseline_path=baseline, deep=args.deep)
 
     if args.update_baseline:
         target = Path(args.baseline)

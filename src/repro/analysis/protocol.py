@@ -1,0 +1,345 @@
+"""Kernel event-protocol checker (REP105).
+
+The event protocol lives in one table — ``repro/sim/events.py``'s
+``EVENT_TABLE`` — and this checker makes the table binding rather than
+advisory.  Parsed straight from the linted tree's AST (never imported),
+the table yields each kind's canonical priority; the rules are:
+
+1. **No ad-hoc kinds.**  A ``kernel.schedule(...)`` site must name its
+   kind via a constant that resolves into the table.  A bare string
+   literal at a schedule site is flagged even when the spelling happens
+   to match — literals are how the PR 8 invariant degraded into tribal
+   knowledge in the first place.
+2. **Priorities agree with the table.**  A schedule site's priority —
+   an explicit literal, or 0 when omitted — must equal the table row's.
+   ``priority=priority_of(KIND)`` (for the same kind) is consistent by
+   construction and accepted without further proof.  Priorities the
+   checker cannot decide statically (arbitrary expressions) are
+   accepted; the runtime contract tests cover those.
+3. **Every kind has a subscriber.**  A table row nobody subscribes to
+   is dead protocol; the finding lands on the row so the owner either
+   deletes it or documents why it stays (the ``timer`` row carries such
+   a suppression: its subscribers are downstream clients and tests).
+4. **One table.**  A module-level string constant outside ``events.py``
+   whose value collides with a table kind is redefinition drift — the
+   scattered-literals state this PR abolished — and is flagged.
+
+Schedule sites are recognised as ``<recv>.schedule(...)`` calls whose
+receiver chain mentions a kernel (``kernel.schedule``,
+``self._kernel.schedule``); subscriptions as any ``.subscribe(KIND,
+handler)`` call.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .callgraph import CallGraph, ModuleInfo, _attr_chain
+from .engine import Finding
+
+__all__ = ["PROTOCOL_CODE", "EventTable", "check_protocol", "parse_event_table"]
+
+PROTOCOL_CODE = "REP105"
+
+#: Path suffix identifying the central table module in the linted tree.
+_TABLE_PATH_SUFFIX = "sim/events.py"
+
+
+class EventTable:
+    """The parsed protocol table: kind -> (priority, row line)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.rows: dict[str, tuple[int, int]] = {}
+
+    def priority(self, kind: str) -> int | None:
+        row = self.rows.get(kind)
+        return None if row is None else row[0]
+
+
+def _string_constants(mod: ModuleInfo) -> dict[str, str]:
+    """Module-level ``NAME = "literal"`` bindings of one module."""
+    out: dict[str, str] = {}
+    for stmt in mod.tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            out[stmt.targets[0].id] = stmt.value.value
+    return out
+
+
+def parse_event_table(graph: CallGraph) -> EventTable | None:
+    """Extract ``EVENT_TABLE`` from the linted tree's events module."""
+    for mod in graph.modules.values():
+        if not mod.path.endswith(_TABLE_PATH_SUFFIX):
+            continue
+        constants = _string_constants(mod)
+        for stmt in mod.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if not any(
+                isinstance(t, ast.Name) and t.id == "EVENT_TABLE" for t in targets
+            ):
+                continue
+            if not isinstance(value, ast.Dict):
+                continue
+            table = EventTable(mod.path)
+            for key, spec in zip(value.keys, value.values):
+                kind: str | None = None
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    kind = key.value
+                elif isinstance(key, ast.Name):
+                    kind = constants.get(key.id)
+                if kind is None or not isinstance(spec, ast.Call):
+                    continue
+                priority = 0
+                for kw in spec.keywords:
+                    if (
+                        kw.arg == "priority"
+                        and isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, int)
+                    ):
+                        priority = kw.value.value
+                if len(spec.args) >= 2 and isinstance(spec.args[1], ast.Constant):
+                    if isinstance(spec.args[1].value, int):
+                        priority = spec.args[1].value
+                table.rows[kind] = (priority, spec.lineno)
+            return table
+    return None
+
+
+def _lookup_constant(
+    graph: CallGraph,
+    constants_by_module: dict[str, dict[str, str]],
+    module: str,
+    name: str,
+    depth: int = 4,
+) -> str | None:
+    """Value of ``module.name``, chasing re-export chains a few hops."""
+    value = constants_by_module.get(module, {}).get(name)
+    if value is not None:
+        return value
+    if depth == 0:
+        return None
+    for mod in graph.modules.values():
+        if mod.module != module:
+            continue
+        symbol = mod.import_symbols.get(name)
+        if symbol is not None:
+            sym_module, _, sym_name = symbol.rpartition(".")
+            return _lookup_constant(
+                graph, constants_by_module, sym_module, sym_name, depth - 1
+            )
+    return None
+
+
+def _resolve_kind(
+    graph: CallGraph,
+    node: ast.AST,
+    mod: ModuleInfo,
+    constants_by_module: dict[str, dict[str, str]],
+) -> tuple[str | None, bool]:
+    """(kind string, was-literal) an expression denotes at a schedule site."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, True
+    if isinstance(node, ast.Name):
+        local = constants_by_module.get(mod.module, {}).get(node.id)
+        if local is not None:
+            return local, False
+        symbol = mod.import_symbols.get(node.id)
+        if symbol is not None:
+            sym_module, _, sym_name = symbol.rpartition(".")
+            value = _lookup_constant(
+                graph, constants_by_module, sym_module, sym_name
+            )
+            if value is not None:
+                return value, False
+    if isinstance(node, ast.Attribute):
+        chain = _attr_chain(node)
+        if chain is not None and len(chain) >= 2:
+            for module_constants in constants_by_module.values():
+                if chain[-1] in module_constants:
+                    return module_constants[chain[-1]], False
+    return None, False
+
+
+def _is_kernel_schedule(func: ast.Attribute) -> bool:
+    """``<recv>.schedule(...)`` where the receiver names a kernel."""
+    if func.attr != "schedule":
+        return False
+    chain = _attr_chain(func.value)
+    if chain is None:
+        return False
+    return any("kernel" in part.lower() for part in chain)
+
+
+def _priority_expr(call: ast.Call) -> ast.AST | None:
+    """The priority argument of one schedule call, or None when omitted."""
+    for kw in call.keywords:
+        if kw.arg == "priority":
+            return kw.value
+    if len(call.args) >= 4:
+        return call.args[3]
+    return None
+
+
+def check_protocol(graph: CallGraph, suppressions: object = None) -> list[Finding]:
+    """REP105 findings over the whole program."""
+    table = parse_event_table(graph)
+    constants_by_module = {
+        mod.module: _string_constants(mod) for mod in graph.modules.values()
+    }
+    out: list[Finding] = []
+
+    schedule_sites: list[tuple[ModuleInfo, ast.Call]] = []
+    subscribed_kinds: set[str] = set()
+    for mod in graph.modules.values():
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            if _is_kernel_schedule(node.func) and len(node.args) >= 2:
+                schedule_sites.append((mod, node))
+            elif node.func.attr == "subscribe" and node.args:
+                kind, _literal = _resolve_kind(
+                    graph, node.args[0], mod, constants_by_module
+                )
+                if kind is not None:
+                    subscribed_kinds.add(kind)
+
+    if table is None:
+        for mod, call in schedule_sites:
+            out.append(
+                Finding(
+                    path=mod.path,
+                    line=call.lineno,
+                    col=call.col_offset + 1,
+                    code=PROTOCOL_CODE,
+                    message=(
+                        "kernel.schedule() call but no EVENT_TABLE found "
+                        f"(expected a module ending in {_TABLE_PATH_SUFFIX!r})"
+                    ),
+                )
+            )
+        return sorted(out)
+
+    for mod, call in schedule_sites:
+        kind, was_literal = _resolve_kind(
+            graph, call.args[1], mod, constants_by_module
+        )
+        if kind is None:
+            continue  # dynamic kind expression; runtime contracts cover it
+        if was_literal:
+            out.append(
+                Finding(
+                    path=mod.path,
+                    line=call.lineno,
+                    col=call.col_offset + 1,
+                    code=PROTOCOL_CODE,
+                    message=(
+                        f"event kind scheduled as string literal {kind!r}; "
+                        "use the constant from repro.sim.events"
+                    ),
+                )
+            )
+            continue
+        expected = table.priority(kind)
+        if expected is None:
+            out.append(
+                Finding(
+                    path=mod.path,
+                    line=call.lineno,
+                    col=call.col_offset + 1,
+                    code=PROTOCOL_CODE,
+                    message=(
+                        f"event kind {kind!r} is not declared in EVENT_TABLE "
+                        f"({table.path})"
+                    ),
+                )
+            )
+            continue
+        prio = _priority_expr(call)
+        actual: int | None = None
+        consistent = False
+        if prio is None:
+            actual = 0
+        elif isinstance(prio, ast.Constant) and isinstance(prio.value, int):
+            actual = prio.value
+        elif isinstance(prio, ast.Call):
+            chain = _attr_chain(prio.func)
+            if chain is not None and chain[-1] == "priority_of" and prio.args:
+                arg_kind, _lit = _resolve_kind(
+                    graph, prio.args[0], mod, constants_by_module
+                )
+                consistent = arg_kind == kind
+        if not consistent and actual is not None and actual != expected:
+            shown = "omitted (= 0)" if prio is None else str(actual)
+            out.append(
+                Finding(
+                    path=mod.path,
+                    line=call.lineno,
+                    col=call.col_offset + 1,
+                    code=PROTOCOL_CODE,
+                    message=(
+                        f"event kind {kind!r} scheduled with priority {shown} "
+                        f"but EVENT_TABLE declares {expected}; use "
+                        "priority=priority_of(kind)"
+                    ),
+                )
+            )
+
+    for kind, (_priority, line) in sorted(table.rows.items()):
+        if kind not in subscribed_kinds:
+            out.append(
+                Finding(
+                    path=table.path,
+                    line=line,
+                    col=1,
+                    code=PROTOCOL_CODE,
+                    message=(
+                        f"event kind {kind!r} is declared in EVENT_TABLE but "
+                        "has no subscriber in the linted tree"
+                    ),
+                )
+            )
+
+    table_module = next(
+        (m.module for m in graph.modules.values() if m.path == table.path), None
+    )
+    kernel_reexport = table_module.rsplit(".", 1)[0] + ".kernel" if table_module else ""
+    for mod in graph.modules.values():
+        if mod.path == table.path:
+            continue
+        for stmt in mod.tree.body:
+            if not (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+                and stmt.value.value in table.rows
+            ):
+                continue
+            out.append(
+                Finding(
+                    path=mod.path,
+                    line=stmt.lineno,
+                    col=stmt.col_offset + 1,
+                    code=PROTOCOL_CODE,
+                    message=(
+                        f"event kind {stmt.value.value!r} redefined outside "
+                        f"the central table ({table.path}); import it from "
+                        f"{table_module or 'repro.sim.events'} or {kernel_reexport}"
+                    ),
+                )
+            )
+    return sorted(out)

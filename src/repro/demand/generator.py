@@ -82,7 +82,7 @@ def _flow_matrix(hour: int, weekend: bool, concentration: float = 1.0) -> np.nda
         else:
             base[:, 1] += 0.15
             base[:, 0] += 0.15
-    if concentration != 1.0:
+    if concentration != 1.0:  # repro-lint: disable=REP004 reason=exact default sentinel; base**1.0 is the identity, any perturbed value takes the power path
         base = base ** concentration
     return base / base.sum(axis=1, keepdims=True)
 

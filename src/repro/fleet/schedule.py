@@ -278,7 +278,7 @@ def _insertion_grid(m: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
             ),
         )
         cached = (ii, jj, seq)
-        _GRID_CACHE[m] = cached
+        _GRID_CACHE[m] = cached  # repro-lint: disable=REP101 reason=pure memo keyed by stop count; value depends only on m
     return cached
 
 
@@ -551,7 +551,7 @@ def _insertion_sequences(m: int) -> list[tuple[int, int, tuple[int, ...]]]:
             (int(i), int(j) + 1, tuple(int(e) for e in row))
             for i, j, row in zip(ii, jj, seq)
         ]
-        _SEQ_TUPLE_CACHE[m] = cached
+        _SEQ_TUPLE_CACHE[m] = cached  # repro-lint: disable=REP101 reason=pure memo keyed by stop count; value depends only on m
     return cached
 
 

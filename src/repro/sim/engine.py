@@ -47,6 +47,7 @@ from ..fleet.taxi import FleetLog, Taxi
 from ..index.spatial import StaticVertexGrid
 from ..network.shortest_path import subgraph_cache_stats
 from ..obs import Instrumentation, JsonlTraceWriter
+from .events import priority_of
 from .kernel import DRAIN_TICK, REQUEST_RELEASE, WINDOW_TICK, Event, Kernel
 from .metrics import SimulationMetrics
 
@@ -739,17 +740,18 @@ class Simulator:
 
         Boundaries sit on the absolute ``W``-grid, not ``now + W``, so
         the tick sequence is a function of the workload's release times
-        alone, never of internal scheduling order.  The tick carries a
-        positive priority: a release landing *exactly* on a boundary
-        always enters the closing window, in batch and streaming runs
-        alike, independent of event sequence numbers.
+        alone, never of internal scheduling order.  The tick carries
+        the protocol table's positive priority: a release landing
+        *exactly* on a boundary always enters the closing window, in
+        batch and streaming runs alike, independent of event sequence
+        numbers (:mod:`repro.sim.events`).
         """
         if self._window_tick_at is not None:
             return
         w = self._window_s
         tick_at = (math.floor(now / w) + 1.0) * w
         self._window_tick_at = tick_at
-        self._kernel.schedule(tick_at, WINDOW_TICK, priority=1)
+        self._kernel.schedule(tick_at, WINDOW_TICK, priority=priority_of(WINDOW_TICK))
 
     def _on_window_tick(self, event: Event) -> None:
         """Kernel handler: one dispatch-window boundary."""

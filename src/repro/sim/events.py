@@ -1,0 +1,96 @@
+"""The central event kind/priority table — one row per scheduled kind.
+
+Every event kind the kernel ever schedules is declared here, together
+with its same-instant **priority** and at least one subscriber
+somewhere in ``src/repro``.  The table is the single source of truth
+for the event protocol: the kernel's re-exported kind constants
+(:mod:`repro.sim.kernel`) come from this module, schedule sites take
+their priority from :func:`priority_of`, and the deep lint's protocol
+checker (``repro lint --deep``, REP105) statically enforces that no
+caller schedules a kind missing from this table or with a priority
+disagreeing with it.
+
+Priorities resolve same-instant ordering *before* the scheduling
+sequence number does, so they are protocol, not implementation detail.
+The one non-zero row — ``window.tick`` at priority 1 — encodes the
+PR 8 invariant: a request released exactly on a window boundary must
+enter the *closing* window, in batch and streaming runs alike,
+independent of event sequence numbers.  Before this table, that
+invariant lived in a call-site literal and tribal knowledge; now a
+schedule site that drops or contradicts it fails the lint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DRAIN_TICK",
+    "EVENT_TABLE",
+    "EventSpec",
+    "REQUEST_RELEASE",
+    "TIMER",
+    "WINDOW_TICK",
+    "priority_of",
+]
+
+#: A ride request becomes visible to the dispatcher.
+REQUEST_RELEASE = "request.release"
+
+#: Fixed-step post-release tick draining open schedules.
+DRAIN_TICK = "drain.tick"
+
+#: Dispatch-window boundary flushing the batched online requests.
+WINDOW_TICK = "window.tick"
+
+#: Generic timer event for services and tests.
+TIMER = "timer"
+
+
+@dataclass(frozen=True, slots=True)
+class EventSpec:
+    """One protocol row: an event kind, its priority, and its contract."""
+
+    kind: str
+    priority: int
+    description: str
+
+
+#: The protocol table.  Keys are the kind strings; values carry the
+#: same-instant priority every schedule site must use (directly via
+#: :func:`priority_of`, or as a literal the deep lint checks against
+#: this table).
+EVENT_TABLE: dict[str, EventSpec] = {
+    REQUEST_RELEASE: EventSpec(
+        REQUEST_RELEASE,
+        priority=0,
+        description="one ride request becomes visible at its release instant",
+    ),
+    DRAIN_TICK: EventSpec(
+        DRAIN_TICK,
+        priority=0,
+        description="fixed-step post-release tick driving schedules to completion",
+    ),
+    WINDOW_TICK: EventSpec(
+        WINDOW_TICK,
+        # Priority 1: fires *after* any release sharing its instant, so
+        # a boundary release always enters the closing window (PR 8).
+        priority=1,
+        description="dispatch-window boundary flushing the buffered releases",
+    ),
+    TIMER: EventSpec(  # repro-lint: disable=REP105 reason=generic reusable kind; its subscribers are downstream service clients and the kernel tests, not src/repro
+        TIMER,
+        priority=0,
+        description="generic reusable timer for services and tests",
+    ),
+}
+
+
+def priority_of(kind: str) -> int:
+    """The table priority of ``kind`` (KeyError for unknown kinds).
+
+    Schedule sites that use ``priority=priority_of(KIND)`` are
+    consistent with the table by construction; the protocol checker
+    accepts them without further proof.
+    """
+    return EVENT_TABLE[kind].priority

@@ -35,6 +35,13 @@ Event taxonomy (see docs/ARCHITECTURE.md):
     payload.
 ``timer``
     Generic reusable kind for service/test timers.
+
+The kind strings and their same-instant priorities live in one central
+table (:mod:`repro.sim.events`); the constants below are re-exports so
+existing ``from repro.sim.kernel import WINDOW_TICK`` imports keep
+working.  Schedule sites take priorities from
+:func:`repro.sim.events.priority_of`, and the deep lint's protocol
+checker (REP105) enforces both statically.
 """
 
 from __future__ import annotations
@@ -48,8 +55,11 @@ from typing import Any
 
 import numpy as np
 
+from .events import DRAIN_TICK, EVENT_TABLE, REQUEST_RELEASE, TIMER, WINDOW_TICK
+
 __all__ = [
     "DRAIN_TICK",
+    "EVENT_TABLE",
     "REQUEST_RELEASE",
     "TIMER",
     "WINDOW_TICK",
@@ -60,18 +70,6 @@ __all__ = [
     "RngRegistry",
     "ScheduledInPast",
 ]
-
-#: A ride request becomes visible to the dispatcher.
-REQUEST_RELEASE = "request.release"
-
-#: Fixed-step post-release tick draining open schedules.
-DRAIN_TICK = "drain.tick"
-
-#: Dispatch-window boundary flushing the batched online requests.
-WINDOW_TICK = "window.tick"
-
-#: Generic timer event for services and tests.
-TIMER = "timer"
 
 
 class KernelError(RuntimeError):

@@ -100,7 +100,9 @@ def test_rep001_all_str_literal_set_exempt(tmp_path):
     assert result.new == []
 
 
-def test_rep001_out_of_scope_package_not_flagged(tmp_path):
+def test_rep001_applies_to_every_package(tmp_path):
+    # PR 9 widened REP001 from a per-directory list to the whole tree:
+    # packages that used to be out of scope (experiments/) now count.
     result = lint_source(
         tmp_path,
         "repro/experiments/mod.py",
@@ -109,7 +111,7 @@ def test_rep001_out_of_scope_package_not_flagged(tmp_path):
             return list(nodes)
         """,
     )
-    assert result.new == []
+    assert new_codes(result) == ["REP001"]
 
 
 def test_rep001_cross_module_set_returning_method(tmp_path):

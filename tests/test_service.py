@@ -397,3 +397,74 @@ class TestHTTPEndpoint:
         assert code == 200
         with pytest.raises(urllib.error.HTTPError):
             urllib.request.urlopen(base + "/nope")
+
+    def test_concurrent_submissions_no_lost_or_double_counted(
+        self, svc_scenario, server, monkeypatch
+    ):
+        """N threads x M submits with duplicates and out-of-order releases.
+
+        Whatever the interleaving, the single ``state.lock`` must keep
+        the books exact: every POST gets a response, ``submitted``
+        equals the number of POSTs, each unique request is admitted at
+        most once (duplicates are refused, never double-counted), and
+        after ``/finish`` the request-accounting identity closes under
+        ``REPRO_CONTRACTS=1``.
+        """
+        monkeypatch.setenv("REPRO_CONTRACTS", "1")
+        base, state = server
+
+        requests = svc_scenario.requests()[:24]
+        posts = requests * 2  # every request submitted twice -> duplicates
+        n_threads = 8
+        buckets: list[list] = [[] for _ in range(n_threads)]
+        for i, r in enumerate(posts):
+            buckets[i % n_threads].append(r)
+        rng = random.Random(1234)
+        for bucket in buckets:
+            rng.shuffle(bucket)  # out-of-order releases within each thread
+
+        results: list[list[tuple[int, int, dict]]] = [[] for _ in range(n_threads)]
+        barrier = threading.Barrier(n_threads)
+
+        def worker(idx: int) -> None:
+            barrier.wait()
+            for r in buckets[idx]:
+                code, body = self._post(base, "/requests", request_to_dict(r))
+                results[idx].append((r.request_id, code, body))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads)
+
+        flat = [item for bucket in results for item in bucket]
+        assert len(flat) == len(posts)  # no lost requests
+        accepted_ids = [rid for rid, _code, body in flat if body["accepted"]]
+        rejected = [
+            (rid, body["reason"]) for rid, _code, body in flat if not body["accepted"]
+        ]
+        # Conservation: every POST is exactly one of accepted / rejected.
+        assert len(accepted_ids) + len(rejected) == len(posts)
+        # No double-counting: a request id is admitted at most once.
+        assert len(accepted_ids) == len(set(accepted_ids))
+        # The concurrent-duplicate path actually fired.
+        reasons = {reason for _rid, reason in rejected}
+        assert reasons <= {REJECT_DUPLICATE, REJECT_LATE, REJECT_BACKPRESSURE}
+        assert REJECT_DUPLICATE in reasons
+
+        with state.lock:
+            service = state.service
+            assert service.submitted == len(posts)
+            assert service.admitted == len(accepted_ids)
+            assert sum(service.rejections.values()) == len(rejected)
+
+        code, body = self._post(base, "/finish", {})
+        assert code == 200
+        metrics = state.service.sim.metrics
+        # Every submission landed in exactly one terminal bucket.
+        assert metrics.num_requests == len(posts)
+        metrics.check_balance()
