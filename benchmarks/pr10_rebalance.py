@@ -1,0 +1,177 @@
+"""Rebalance smoke: repositioning is a strict, deterministic opt-in.
+
+Four guarantees from docs/ALGORITHMS.md ("Proactive rebalancing"),
+checked end-to-end on the commute-surge scenario with runtime
+contracts armed:
+
+1. **Rebalancing-off no-op.**  A run handed a *disabled*
+   ``RebalanceSpec`` (the ``"off"`` spec) produces the exact same trips
+   and metrics as a run with ``rebalance=None`` — the policy layer
+   normalises disabled specs away and never touches clean decisions.
+2. **Rebalanced determinism.**  Two rebalanced runs produce identical
+   decision fingerprints, and the streaming façade replays the batch
+   run bit-for-bit with repositioning cruises in flight.
+3. **The surge gate.**  On the supply/demand-imbalanced surge cell
+   (tight fleet, morning-commute window), the rebalanced run serves at
+   least as many requests as the reactive baseline — the whole point
+   of the subsystem.
+4. **Accounting closure.**  ``check_balance()`` closes for every run,
+   and the ``rebalance.*`` counters actually moved taxis.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/pr10_rebalance.py --out BENCH_PR10.json
+
+Exits nonzero on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.analysis import contracts  # noqa: E402
+from repro.core.payment import PaymentModel  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+from repro.sim.scenario import ScenarioSpec, get_scenario  # noqa: E402
+
+#: The policy under test (also the tier-1 suite's profile).
+REBALANCE = "cadence_s=120,max_moves=6"
+
+#: Wall-clock-derived summary keys; everything else must match exactly.
+MEASURED_KEYS = frozenset(
+    {"response_ms", "stage_candidates_ms", "stage_insertion_ms", "stage_planning_ms"}
+)
+
+#: The commute-surge cell: the peak window *is* the morning one-way
+#: surge, and the fleet is deliberately tight so the imbalance bites.
+SPEC = ScenarioSpec(
+    kind="peak", grid_rows=12, grid_cols=12, spacing_m=180.0,
+    hourly_requests=250, history_days=2, num_partitions=16,
+    offline_count=40, seed=3,
+)
+NUM_TAXIS = 20
+
+
+def _run(scenario, rebalance, streamed=False):
+    """One mt-share run; returns (metrics, fingerprint)."""
+    requests = scenario.requests()
+    fleet = scenario.make_fleet(NUM_TAXIS, seed=1)
+    sim = Simulator(
+        scenario.make_scheme("mt-share"), fleet, [] if streamed else requests,
+        payment=PaymentModel(),
+        rebalance=scenario.rebalance_policy(rebalance),
+    )
+    if streamed:
+        sim.stream_begin()
+        for request in requests:
+            sim.stream_submit(request)
+        metrics = sim.stream_finish()
+    else:
+        metrics = sim.run()
+    decisions = {
+        "trips": {
+            str(rid): [t.taxi_id, t.assign_time, t.pickup_time, t.dropoff_time]
+            for rid, t in sorted(sim.log.trips.items())
+        },
+        "summary": {
+            k: v for k, v in sorted(metrics.summary().items())
+            if k not in MEASURED_KEYS
+        },
+    }
+    blob = json.dumps(decisions, sort_keys=True).encode()
+    return metrics, hashlib.sha256(blob).hexdigest()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write a JSON report here")
+    args = parser.parse_args(argv)
+
+    contracts.enable(True)
+    scenario = get_scenario(SPEC)
+    t0 = time.perf_counter()
+
+    plain_m, plain_fp = _run(scenario, None)
+    off_m, off_fp = _run(scenario, "off")
+    on_a_m, on_a_fp = _run(scenario, REBALANCE)
+    _on_b_m, on_b_fp = _run(scenario, REBALANCE)
+    stream_m, stream_fp = _run(scenario, REBALANCE, streamed=True)
+
+    failures = []
+    if off_fp != plain_fp:
+        failures.append(
+            f"rebalance-off run diverged from plain run: {off_fp} != {plain_fp}"
+        )
+    if any(k.startswith("rebalance") for k in off_m.counters):
+        failures.append("disabled policy populated rebalance.* counters")
+    if on_a_fp != on_b_fp:
+        failures.append(
+            f"same policy, different runs: {on_a_fp} != {on_b_fp}"
+        )
+    if stream_fp != on_a_fp:
+        failures.append(
+            f"streamed rebalanced run diverged from batch: {stream_fp} != {on_a_fp}"
+        )
+    if on_a_m.counters.get("rebalance.moves", 0) == 0:
+        failures.append("rebalanced run moved no taxis")
+    if on_a_m.served < off_m.served:
+        failures.append(
+            "surge gate: rebalancing served fewer requests "
+            f"({on_a_m.served} < {off_m.served})"
+        )
+    for label, m in (("plain", plain_m), ("rebalance-off", off_m),
+                     ("rebalance-on", on_a_m), ("streamed", stream_m)):
+        try:
+            m.check_balance()
+        except AssertionError as exc:
+            failures.append(f"{label} run failed check_balance(): {exc}")
+
+    def _rate(m):
+        return round(m.served / max(m.num_requests, 1), 4)
+
+    report = {
+        "scenario": f"peak 12x12, 250 req/h, {NUM_TAXIS} taxis, seed 3 (commute surge)",
+        "rebalance_spec": REBALANCE,
+        "fingerprints": {
+            "plain": plain_fp, "rebalance_off": off_fp,
+            "on_a": on_a_fp, "on_b": on_b_fp, "streamed": stream_fp,
+        },
+        "surge": {
+            "served_on": on_a_m.served,
+            "served_off": off_m.served,
+            "served_rate_on": _rate(on_a_m),
+            "served_rate_off": _rate(off_m),
+            "waiting_min_on": round(on_a_m.avg_waiting_min, 2),
+            "waiting_min_off": round(off_m.avg_waiting_min, 2),
+        },
+        "counters": {
+            k: v for k, v in sorted(on_a_m.counters.items())
+            if k.startswith("rebalance")
+        },
+        "elapsed_s": round(time.perf_counter() - t0, 2),
+        "failures": failures,
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+    print(json.dumps(report, indent=2))
+    if failures:
+        print(f"rebalance smoke FAILED ({len(failures)} violation(s))", file=sys.stderr)
+        return 1
+    print("rebalance smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,7 +124,27 @@ def _row_pr8(d: dict) -> dict:
     }
 
 
-_EXTRACTORS = {2: _row_pr2, 3: _row_pr3, 6: _row_pr6, 7: _row_pr7, 8: _row_pr8}
+def _row_pr10(d: dict) -> dict:
+    surge = d.get("surge", {})
+    ok = not d.get("failures")
+    on = surge.get("served_rate_on")
+    off = surge.get("served_rate_off")
+    return {
+        "headline": "proactive idle-taxi rebalancing",
+        "wall_s": d.get("elapsed_s"),
+        "dispatch_ms_per_req": None,
+        "gates": "pass" if ok else "FAIL",
+        "note": (
+            f"surge served rate {_fmt(on)} vs {_fmt(off)} off, "
+            f"{_fmt(_get(d, 'counters', 'rebalance.moves'))} moves"
+        ),
+    }
+
+
+_EXTRACTORS = {
+    2: _row_pr2, 3: _row_pr3, 6: _row_pr6, 7: _row_pr7, 8: _row_pr8,
+    10: _row_pr10,
+}
 
 
 def _row_generic(d: dict) -> dict:

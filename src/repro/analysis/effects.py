@@ -418,7 +418,12 @@ def infer_effects(
 def _contract_roots(graph: CallGraph) -> set[str]:
     """The REP101 effect-free roots present in the linted tree."""
     roots: set[str] = set()
-    boundary_names = {"_on_request_release", "_on_drain_tick", "_on_window_tick"}
+    boundary_names = {
+        "_on_request_release",
+        "_on_drain_tick",
+        "_on_window_tick",
+        "_on_rebalance_tick",
+    }
     scheme_classes = graph.subclasses_of("DispatchScheme")
     scheme_classes.update(graph.classes_by_name.get("DispatchScheme", []))
     for qual, fn in graph.functions.items():

@@ -287,8 +287,8 @@ class DispatchScheme(abc.ABC):
             return False
         if not self._config.enable_cruising:
             return False
-        if taxi._route_cursor < len(taxi.route.nodes):  # noqa: SLF001
-            return False  # still driving an earlier cruise
+        if taxi.cruising:
+            return False  # still driving an earlier (seek or rebalance) cruise
         cooldowns = getattr(self, "_cruise_cooldown", None)
         if cooldowns is None:
             cooldowns = {}

@@ -82,6 +82,12 @@ def _build_parser() -> argparse.ArgumentParser:
                           "shock_delay_s, shock_duration_s, "
                           "shock_radius_frac, continuation_rho, "
                           "continuation_wait_s (see docs/ROBUSTNESS.md)")
+    sim.add_argument("--rebalance", metavar="SPEC", default=None,
+                     help="proactively reposition surplus idle taxis "
+                          "toward predicted-demand deficit zones; SPEC is "
+                          "'on', 'off' or key=value[,key=value...] with "
+                          "keys cadence_s, lead_s, max_moves, min_surplus, "
+                          "max_cruise_s (see docs/ALGORITHMS.md)")
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(list(ALL_EXPERIMENTS) + list(ALL_ABLATIONS)))
@@ -176,15 +182,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: bad --faults spec: {exc}", file=sys.stderr)
         return 2
+    try:
+        rebalance = scenario.rebalance_policy(args.rebalance, config)
+    except ValueError as exc:
+        print(f"error: bad --rebalance spec: {exc}", file=sys.stderr)
+        return 2
     print(
         f"Simulating {scheme.name}: {len(requests)} requests, "
         f"{args.taxis} taxis, {scenario.network.num_vertices} vertices"
         + (f", {faults.num_events} fault events" if faults is not None else "")
+        + (", rebalancing on" if rebalance is not None else "")
     )
     try:
         sim = Simulator(
             scheme, fleet, requests, payment=PaymentModel(),
-            trace_path=args.trace, faults=faults,
+            trace_path=args.trace, faults=faults, rebalance=rebalance,
         )
     except OSError as exc:
         print(f"error: cannot open trace file: {exc}", file=sys.stderr)

@@ -219,6 +219,47 @@ def ablation_window_size(scale: BenchScale | None = None,
     return result
 
 
+def ablation_rebalance_imbalance(scale: BenchScale | None = None) -> ExperimentResult:
+    """Proactive idle-taxi rebalancing under the commute surge (peak).
+
+    The peak scenario's evaluation window *is* the morning one-way
+    surge (workday hour 8): demand concentrates in a few origin zones
+    while drop-offs strand the fleet elsewhere, so a purely reactive
+    dispatcher starves the surge cells — ROADMAP item 1.  The fleet is
+    deliberately tight (half the default) to make the supply/demand
+    imbalance bite; the rebalancer then steers surplus idle taxis
+    toward predicted-deficit partitions ahead of the surge.  Compare
+    served rate and response/waiting with the identical run without
+    repositioning.
+    """
+    scale = scale or bench_scale()
+    result = ExperimentResult(
+        title="Ablation: proactive idle-taxi rebalancing (mT-Share, commute surge)",
+        x_label="metric",
+        x_values=["served", "served_rate", "response_ms", "waiting_min", "moves"],
+        y_label="policy",
+    )
+    num_taxis = max(scale.default_taxis // 2, 10)
+    for label, spec_str in (("rebalance on", "on"), ("rebalance off", None)):
+        metrics = run(
+            RunKey(
+                spec=scale.peak,
+                scheme="mt-share",
+                num_taxis=num_taxis,
+                rebalance=spec_str,
+            )
+        )
+        served_rate = metrics.served / max(metrics.num_requests, 1)
+        result.add_series(
+            label,
+            [metrics.served, round(served_rate, 4),
+             round(metrics.avg_response_ms, 3),
+             round(metrics.avg_waiting_min, 2),
+             metrics.counters.get("rebalance.moves", 0)],
+        )
+    return result
+
+
 ALL_ABLATIONS = {
     "adaptive_gamma": ablation_adaptive_gamma,
     "steering": ablation_steering,
@@ -226,4 +267,5 @@ ALL_ABLATIONS = {
     "redispatch": ablation_redispatch,
     "seed_robustness": ablation_seed_robustness,
     "window_size": ablation_window_size,
+    "rebalance_imbalance": ablation_rebalance_imbalance,
 }

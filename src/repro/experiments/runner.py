@@ -56,6 +56,9 @@ class RunKey:
     config_overrides: tuple = ()
     offline_count: int | None = None
     probabilistic: bool = False
+    #: ``--rebalance`` spec string for proactive idle-taxi repositioning
+    #: (``None``/"off" leaves the run on the pre-rebalancing code path).
+    rebalance: str | None = None
 
 
 _CACHE: dict[RunKey, SimulationMetrics] = {}
@@ -124,6 +127,7 @@ def run(key: RunKey) -> SimulationMetrics:
         fleet,
         requests,
         payment=PaymentModel(beta=config.beta, eta=config.eta),
+        rebalance=scenario.rebalance_policy(key.rebalance, config),
     ).run()
     _CACHE[key] = metrics
     return metrics

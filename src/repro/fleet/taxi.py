@@ -161,6 +161,17 @@ class Taxi:
         return not self.schedule
 
     @property
+    def cruising(self) -> bool:
+        """True when idle but still following a stop-less (cruise) route.
+
+        Demand-seeking and repositioning cruises are plans with no
+        stops, so a cruising taxi is ``idle`` (matchable) yet moving; a
+        fully-consumed cruise route is cleared by :meth:`advance`, so
+        parked taxis always report ``False``.
+        """
+        return not self.schedule and self._route_cursor < len(self.route.nodes)
+
+    @property
     def occupancy(self) -> int:
         """Passengers currently in the car (O(1), kept incrementally)."""
         return self._onboard_pax

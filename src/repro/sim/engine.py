@@ -43,12 +43,13 @@ from ..core.payment import PaymentModel
 from ..demand.request import RideRequest
 from ..faults.plan import FaultPlan, ShockWindow
 from ..faults.recovery import CONTINUATION_ID_BASE, continuation_request
+from ..fleet.rebalance import Rebalancer
 from ..fleet.taxi import FleetLog, Taxi
 from ..index.spatial import StaticVertexGrid
 from ..network.shortest_path import subgraph_cache_stats
 from ..obs import Instrumentation, JsonlTraceWriter
 from .events import priority_of
-from .kernel import DRAIN_TICK, REQUEST_RELEASE, WINDOW_TICK, Event, Kernel
+from .kernel import DRAIN_TICK, REBALANCE_TICK, REQUEST_RELEASE, WINDOW_TICK, Event, Kernel
 from .metrics import SimulationMetrics
 
 #: Clock step while draining schedules after the last online release.
@@ -120,6 +121,13 @@ class Simulator:
         at :data:`COMPACT_SAMPLE_CAP` (running aggregates keep exact
         counts/means).  Off by default — determinism fingerprints rely
         on the full sample lists.
+    rebalance:
+        Optional :class:`~repro.fleet.rebalance.Rebalancer`: at each
+        ``rebalance.tick`` boundary, surplus idle taxis are steered onto
+        cruise routes toward predicted-deficit partitions; a real match
+        tears the cruise down for free.  ``None`` (or a disabled spec)
+        leaves the simulation path bit-identical to a rebalancing-free
+        run.  See docs/ALGORITHMS.md ("Proactive rebalancing").
     """
 
     def __init__(
@@ -134,6 +142,7 @@ class Simulator:
         trace_path: str | None = None,
         faults: FaultPlan | None = None,
         compact: bool = False,
+        rebalance: Rebalancer | None = None,
     ) -> None:
         self._scheme = scheme
         if obs is None:
@@ -192,6 +201,18 @@ class Simulator:
         self._window_tick_at: float | None = None
         if self._window_s is not None:
             self._kernel.subscribe(WINDOW_TICK, self._on_window_tick)
+        # Proactive repositioning (repro.fleet.rebalance): a disabled
+        # spec is normalised to None so a "rebalancing off" run takes
+        # exactly the pre-rebalancing code path — bit-identical
+        # fingerprints, zero rebalance.* counters.
+        self._rebalance = rebalance if rebalance is not None and rebalance.spec.enabled else None
+        self._rebalance_tick_at: float | None = None
+        # taxi id -> target partition of its in-flight repositioning
+        # cruise; entries are dropped when the cruise arrives, is
+        # abandoned for a real match, or the taxi breaks down.
+        self._rebalance_dest: dict[int, int] = {}
+        if self._rebalance is not None:
+            self._kernel.subscribe(REBALANCE_TICK, self._on_rebalance_tick)
         self._last_release = 0.0
         self._streaming = False
         self._wall_start = 0.0
@@ -468,6 +489,12 @@ class Simulator:
         episode = self._episodes.get(tid)
         onboard, assigned = taxi.break_down()
         self._was_busy[tid] = False
+        # A repositioning cruise dies with the taxi: the plan is already
+        # cleared by break_down(), the scheme's eviction hook removes
+        # the taxi from every supply index below, and the stale
+        # destination must not be credited as in-flight at later ticks.
+        if self._rebalance_dest.pop(tid, None) is not None:
+            self._obs.count("rebalance.broken")
         self._scheme.on_taxi_breakdown(taxi, now)
         self._metrics.breakdowns += 1
         self._obs.count("fault.breakdowns")
@@ -621,6 +648,10 @@ class Simulator:
     def _install(self, result, request: RideRequest, now: float, offline: bool) -> None:
         taxi = self._scheme.install(result, request, now)
         self._was_busy[taxi.taxi_id] = True
+        # A real match pre-empts any repositioning cruise: install()
+        # replaced the plan wholesale, so just retire the bookkeeping.
+        if self._rebalance_dest.pop(taxi.taxi_id, None) is not None:
+            self._obs.count("rebalance.abandoned")
         self._log.record_assignment(request, result.taxi_id, now)
         if offline:
             self._metrics.served_offline += 1
@@ -694,7 +725,17 @@ class Simulator:
 
         self._scheme.register_fleet(self._fleet, now=0.0)
         for taxi in self._fleet.values():
-            self._was_busy[taxi.taxi_id] = not taxi.idle
+            busy = not taxi.idle
+            self._was_busy[taxi.taxi_id] = busy
+            # A taxi idle from t=0 never crosses a busy->idle transition,
+            # so the _advance_all hook would never fire for it and an
+            # untouched fleet stayed invisible to idle-driven policies
+            # (rebalancing, cruising cooldowns).  The base hook is an
+            # idempotent re-index (grids are insert-or-move, the
+            # partition index replaces), so firing it after
+            # register_fleet cannot change any dispatch decision.
+            if not busy and not taxi.out_of_service:
+                self._scheme.on_taxi_idle(taxi, 0.0)
 
     def _boundary(self, now: float) -> None:
         """The per-event boundary: advance the fleet, commit the clock,
@@ -711,6 +752,8 @@ class Simulator:
         now = event.time
         self._last_release = max(self._last_release, now)
         self._boundary(now)
+        if self._rebalance is not None:
+            self._schedule_rebalance_tick(now)
         if request.offline:
             self._register_offline(request)
         elif self._window_s is not None:
@@ -824,6 +867,84 @@ class Simulator:
                 self._obs.count("window.unmatched")
                 if self.on_decision is not None:
                     self.on_decision(request, now, False, None, share, "online")
+
+    # ------------------------------------------------------------------
+    # proactive repositioning (repro.fleet.rebalance)
+    # ------------------------------------------------------------------
+    def _schedule_rebalance_tick(self, now: float) -> None:
+        """Schedule the next repositioning boundary (at most one out).
+
+        Like window ticks, rebalance boundaries sit on the absolute
+        cadence grid and are armed by request releases — never by the
+        tick handler itself — so the tick sequence is a pure function
+        of the workload's release times, identical in batch and
+        streaming runs.  The protocol table's priority (2) puts the
+        tick after any release or window flush sharing its instant:
+        the supply census always sees the post-dispatch idle set.
+        """
+        if self._rebalance_tick_at is not None:
+            return
+        cadence = self._rebalance.spec.cadence_s
+        tick_at = (math.floor(now / cadence) + 1.0) * cadence
+        self._rebalance_tick_at = tick_at
+        self._kernel.schedule(tick_at, REBALANCE_TICK, priority=priority_of(REBALANCE_TICK))
+
+    def _on_rebalance_tick(self, event: Event) -> None:
+        """Kernel handler: one proactive-repositioning boundary.
+
+        Census the parked idle taxis per partition (and the
+        repositioning cruises already in flight, credited to their
+        target), ask the policy for moves, and install each move as a
+        stop-less cruise plan.  Every step is deterministic: the fleet
+        is walked in id order and the planner is pure arithmetic.
+        """
+        now = event.time
+        self._rebalance_tick_at = None
+        self._boundary(now)
+        policy = self._rebalance
+        self._obs.count("rebalance.ticks")
+        supply: dict[int, list[int]] = {}
+        in_flight: dict[int, int] = {}
+        for tid in sorted(self._fleet):
+            taxi = self._fleet[tid]
+            if taxi.out_of_service or not taxi.idle:
+                # Matched or broken since its cruise was installed; the
+                # _install/_handle_breakdown hooks already dropped the
+                # destination, but a taxi matched while *parked* between
+                # ticks never had one — pop unconditionally.
+                self._rebalance_dest.pop(tid, None)
+                continue
+            if taxi.cruising:
+                dest = self._rebalance_dest.get(tid)
+                if dest is not None:
+                    in_flight[dest] = in_flight.get(dest, 0) + 1
+                # A demand-seeking cruise (no recorded destination) is
+                # left alone: it already chases predicted encounters.
+                continue
+            if self._rebalance_dest.pop(tid, None) is not None:
+                self._obs.count("rebalance.arrived")
+            supply.setdefault(policy.partition_of(taxi.loc), []).append(tid)
+        with self._obs.stage("rebalance.plan"):
+            moves = policy.plan_moves(supply, in_flight, now)
+        installed = 0
+        for move in moves:
+            taxi = self._fleet[move.taxi_id]
+            route = policy.cruise_route(taxi.loc, now, move.target)
+            if route is None:
+                continue
+            taxi.set_plan([], route)
+            self._rebalance_dest[move.taxi_id] = move.target
+            # Re-index: position-grid schemes key idle taxis by vertex,
+            # and the cruise will move this one.
+            self._scheme.on_taxi_replanned(taxi, now)
+            installed += 1
+            self._obs.event(
+                "rebalance", taxi=move.taxi_id, source=move.source,
+                target=move.target, t=now,
+            )
+        if installed:
+            self._obs.count("rebalance.moves", installed)
+        contracts.check_request_accounting(self._metrics)
 
     def _drain(self) -> None:
         """Drive open schedules to completion after the last release.

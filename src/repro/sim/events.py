@@ -28,6 +28,7 @@ __all__ = [
     "DRAIN_TICK",
     "EVENT_TABLE",
     "EventSpec",
+    "REBALANCE_TICK",
     "REQUEST_RELEASE",
     "TIMER",
     "WINDOW_TICK",
@@ -42,6 +43,9 @@ DRAIN_TICK = "drain.tick"
 
 #: Dispatch-window boundary flushing the batched online requests.
 WINDOW_TICK = "window.tick"
+
+#: Proactive-repositioning boundary steering surplus idle taxis.
+REBALANCE_TICK = "rebalance.tick"
 
 #: Generic timer event for services and tests.
 TIMER = "timer"
@@ -77,6 +81,15 @@ EVENT_TABLE: dict[str, EventSpec] = {
         # a boundary release always enters the closing window (PR 8).
         priority=1,
         description="dispatch-window boundary flushing the buffered releases",
+    ),
+    REBALANCE_TICK: EventSpec(
+        REBALANCE_TICK,
+        # Priority 2: fires after any release (0) or window flush (1)
+        # sharing its instant, so the supply census sees the idle set
+        # *after* every same-instant dispatch committed — in batch and
+        # streaming runs alike.
+        priority=2,
+        description="proactive-repositioning boundary moving surplus idle taxis",
     ),
     TIMER: EventSpec(  # repro-lint: disable=REP105 reason=generic reusable kind; its subscribers are downstream service clients and the kernel tests, not src/repro
         TIMER,

@@ -33,6 +33,11 @@ Event taxonomy (see docs/ARCHITECTURE.md):
     request buffered since the previous boundary through the batching
     scheme's whole-window matcher (the ``window-lap`` scheme); no
     payload.
+``rebalance.tick``
+    A proactive-repositioning boundary: the simulator censuses
+    per-partition idle supply against predicted near-future demand and
+    steers surplus idle taxis onto cruise routes toward deficit-zone
+    landmarks (:mod:`repro.fleet.rebalance`); no payload.
 ``timer``
     Generic reusable kind for service/test timers.
 
@@ -55,11 +60,19 @@ from typing import Any
 
 import numpy as np
 
-from .events import DRAIN_TICK, EVENT_TABLE, REQUEST_RELEASE, TIMER, WINDOW_TICK
+from .events import (
+    DRAIN_TICK,
+    EVENT_TABLE,
+    REBALANCE_TICK,
+    REQUEST_RELEASE,
+    TIMER,
+    WINDOW_TICK,
+)
 
 __all__ = [
     "DRAIN_TICK",
     "EVENT_TABLE",
+    "REBALANCE_TICK",
     "REQUEST_RELEASE",
     "TIMER",
     "WINDOW_TICK",

@@ -481,6 +481,40 @@ class Scenario:
             return None
         return build_fault_plan(spec, taxis, requests, self.network)
 
+    def rebalance_policy(self, spec, config: SystemConfig | None = None):
+        """A :class:`~repro.fleet.rebalance.Rebalancer` for one run.
+
+        ``spec`` is a :class:`~repro.fleet.rebalance.RebalanceSpec`, a
+        spec string in the ``--rebalance`` grammar
+        (``cadence_s=120,max_moves=8``, or ``"on"``/``"off"``; see
+        docs/ALGORITHMS.md) or ``None``.  Returns ``None`` when the
+        policy would never move a taxi, so callers can pass the result
+        straight to :class:`~repro.sim.engine.Simulator` and a
+        rebalancing-off run stays on the pre-rebalancing code path.
+        """
+        from ..fleet.rebalance import RebalanceSpec, Rebalancer, parse_rebalance_spec
+
+        if spec is None:
+            return None
+        if isinstance(spec, str):
+            spec = parse_rebalance_spec(spec)
+        if not isinstance(spec, RebalanceSpec):
+            raise TypeError(
+                f"expected RebalanceSpec, spec string or None, got {type(spec)!r}"
+            )
+        if not spec.enabled:
+            return None
+        config = config if config is not None else self.default_config()
+        part = self.partitioning("bipartite", config.num_partitions)
+        landmarks = self.landmark_graph("bipartite", config.num_partitions)
+        return Rebalancer(
+            spec,
+            predictor=self.demand_predictor(part),
+            landmarks=landmarks,
+            engine=self.engine,
+            network=self.network,
+        )
+
     def _partition_spec(self, method: str, kappa: int, k_t: int) -> dict:
         """Artifact-store key spec for a partitioning build."""
         pspec = {

@@ -357,6 +357,79 @@ class TestBreakdownRecovery:
         m.check_balance()
 
 
+class TestBreakdownOnRebalanceCruise:
+    """A breakdown mid-repositioning-cruise (ISSUE/PR 10 satellite).
+
+    A cruising taxi carries nobody and owes nobody: its breakdown must
+    not settle a phantom payment episode, must evict the taxi from
+    every supply index (it was *idle*, hence indexed), and must retire
+    the in-flight destination so later rebalance ticks do not credit a
+    dead cruise.
+    """
+
+    def test_cruising_breakdown_is_clean(self, test_scenario):
+        scheme = test_scenario.make_scheme("mt-share")
+        fleet = test_scenario.make_fleet(2, seed=1)
+        rebalance = test_scenario.rebalance_policy("on")
+        sim = Simulator(scheme, fleet, [], payment=PaymentModel(),
+                        rebalance=rebalance)
+        sim.stream_begin()
+        taxi = fleet[0]
+        # Steer taxi 0 toward some other partition's landmark, exactly
+        # as the rebalance tick handler would.
+        home = rebalance.partition_of(taxi.loc)
+        target = next(
+            z for z in range(rebalance.landmarks.num_partitions)
+            if z != home and rebalance.cruise_route(taxi.loc, 0.0, z) is not None
+        )
+        taxi.set_plan([], rebalance.cruise_route(taxi.loc, 0.0, target))
+        sim._rebalance_dest[taxi.taxi_id] = target
+        scheme.on_taxi_replanned(taxi, 0.0)
+        assert taxi.cruising
+
+        sim._handle_breakdown(taxi, 30.0)
+
+        assert taxi.out_of_service and taxi.route.empty
+        assert sim._rebalance_dest == {}
+        # Nobody was aboard or assigned: no salvage, no stranding.
+        m = sim.stream_finish()
+        assert m.breakdowns == 1
+        assert m.continuations == 0 and m.reassigned == 0 and m.stranded == 0
+        # No phantom episode settlement: the payment aggregates never moved.
+        assert m.regular_fares == 0.0 and m.shared_fares == 0.0
+        assert m.unsettled_episodes == 0
+        assert m.counters.get("rebalance.broken") == 1
+        # The partition index no longer advertises the dead taxi's supply.
+        for z in range(rebalance.landmarks.num_partitions):
+            assert taxi.taxi_id not in [
+                tid for tid, _ in scheme._pindex.taxis_in(z)
+            ]
+        m.check_balance()
+
+    def test_chaos_with_rebalancing_is_deterministic(self, test_scenario):
+        def one_run():
+            scheme = test_scenario.make_scheme("mt-share")
+            fleet = test_scenario.make_fleet(25, seed=1)
+            requests = test_scenario.requests()
+            plan = test_scenario.fault_plan(
+                "seed=5,breakdown_rate=0.3,cancel_rate=0.2,shock_windows=1",
+                fleet, requests,
+            )
+            return Simulator(
+                scheme, fleet, requests, payment=PaymentModel(), faults=plan,
+                rebalance=test_scenario.rebalance_policy("cadence_s=120,max_moves=6"),
+            ).run()
+
+        from tests.test_runner_parallel import decision_fingerprint
+
+        a = one_run()
+        b = one_run()
+        assert decision_fingerprint(a) == decision_fingerprint(b)
+        assert a.breakdowns > 0
+        assert a.counters.get("rebalance.ticks", 0) > 0
+        a.check_balance()
+
+
 class TestCancellation:
     def test_pre_pickup_cancel_frees_the_taxi(self, micro, small_engine):
         # The taxi starts far away, so the cancel at t=30 lands before
